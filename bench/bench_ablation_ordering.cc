@@ -1,0 +1,98 @@
+// Ablation of the matching-order machinery (DESIGN.md design-choice index;
+// extends the paper's Figure 1 motivation into a measured experiment):
+//
+//   * CFL-Match            — Algorithm 2, cost-model-driven path ordering
+//   * CFL-Match-BFSOrder   — identical pipeline, but paths sequenced in
+//                            plain BFS discovery order (no cost model)
+//   * BFS-order ablation of the ordering *within* the same CPI and
+//     decomposition, so the delta is attributable to Algorithm 2 alone.
+//
+// Additionally prints the Section 2.1 cost model T_iso, evaluated on both
+// orders for the smaller query sets, echoing the paper's 200302-vs-2302
+// Figure 1 arithmetic on live workloads.
+
+#include "bench/bench_common.h"
+#include "cpi/cpi_builder.h"
+#include "cpi/root_select.h"
+#include "decomp/bfs_tree.h"
+#include "decomp/cfl_decomposition.h"
+#include "decomp/two_core.h"
+#include "order/cost_model.h"
+
+namespace cfl::bench {
+namespace {
+
+// Average T_iso of a query set under a path-ordering strategy (queries whose
+// breadths overflow the cap are skipped for both strategies).
+double AverageCost(const Graph& g, const std::vector<Graph>& queries,
+                   PathOrderingStrategy strategy) {
+  LabelDegreeIndex index(g);
+  double total = 0.0;
+  uint32_t counted = 0;
+  for (const Graph& q : queries) {
+    std::vector<VertexId> core = TwoCoreVertices(q);
+    std::vector<VertexId> choices = core;
+    if (choices.empty()) {
+      for (VertexId u = 0; u < q.NumVertices(); ++u) choices.push_back(u);
+    }
+    VertexId root = SelectRoot(q, g, index, choices);
+    CflDecomposition d = DecomposeCfl(q, root);
+    BfsTree tree = BuildBfsTree(q, root);
+    Cpi cpi = BuildCpi(q, g, tree);
+    if (cpi.HasEmptyCandidateSet()) continue;
+    // Cost of the core+forest order (the leaf stage is shared).
+    MatchingOrder order =
+        ComputeMatchingOrder(q, cpi, d, DecompositionMode::kCfl, strategy);
+    CostModelResult cost =
+        ComputeMatchingCost(q, g, order.steps, /*max_breadth=*/200'000);
+    if (cost.truncated) continue;
+    total += static_cast<double>(cost.total_cost);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+void RunDataset(const std::string& dataset, const Config& config) {
+  Graph g = MakeBenchGraph(dataset, config);
+  PrintGraphLine(dataset, g);
+
+  std::vector<std::unique_ptr<SubgraphEngine>> engines;
+  engines.push_back(MakeCflMatchBfsOrder(g));
+  engines.push_back(MakeCflMatch(g));
+
+  Table table({"query set", "BFS order", "Algorithm 2", "T_iso BFS",
+               "T_iso Alg2"});
+  for (bool sparse : {true, false}) {
+    uint32_t size = DefaultQuerySize(dataset, g);
+    std::vector<Graph> queries = MakeQuerySet(g, dataset, size, sparse, config);
+    std::vector<std::string> row = {SetName(size, sparse)};
+    for (const auto& engine : engines) {
+      row.push_back(
+          FormatResult(RunQuerySet(*engine, queries, MakeRunConfig(config))));
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f",
+                  AverageCost(g, queries, PathOrderingStrategy::kBfsNatural));
+    row.push_back(buffer);
+    std::snprintf(buffer, sizeof(buffer), "%.0f",
+                  AverageCost(g, queries, PathOrderingStrategy::kGreedyCost));
+    row.push_back(buffer);
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main() {
+  using namespace cfl::bench;
+  Config config = LoadConfig();
+  PrintPreamble("Ablation", "Algorithm 2 ordering vs plain BFS path order",
+                config);
+  for (const std::string dataset : {"hprd", "yeast"}) {
+    RunDataset(dataset, config);
+  }
+  return 0;
+}

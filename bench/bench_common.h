@@ -1,0 +1,135 @@
+// Shared machinery for the figure/table reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper (see
+// DESIGN.md §3). All honor:
+//   CFL_BENCH_SCALE        graph-size multiplier; "full" = paper scale
+//   CFL_BENCH_QUERIES      queries per query set (paper: 100)
+//   CFL_BENCH_TIME_LIMIT_S per-query-set budget standing in for the paper's
+//                          5-hour limit (exceeding it prints "INF")
+// Defaults keep the whole suite at minutes scale.
+
+#ifndef CFL_BENCH_BENCH_COMMON_H_
+#define CFL_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "gen/query_gen.h"
+#include "gen/synthetic.h"
+#include "graph/graph.h"
+#include "graph/graph_stats.h"
+#include "harness/env.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "match/engine.h"
+
+namespace cfl::bench {
+
+struct Config {
+  double scale = 0.25;
+  uint32_t queries_per_set = 8;
+  double set_budget_seconds = 5.0;
+  uint64_t max_embeddings = 100'000;  // the paper's default #embeddings
+};
+
+inline Config LoadConfig() {
+  Config c;
+  c.scale = BenchScale(c.scale);
+  c.queries_per_set = BenchQueries(c.queries_per_set);
+  c.set_budget_seconds = BenchTimeLimitSeconds(c.set_budget_seconds);
+  return c;
+}
+
+inline RunConfig MakeRunConfig(const Config& c) {
+  RunConfig rc;
+  rc.per_query.max_embeddings = c.max_embeddings;
+  rc.set_budget_seconds = c.set_budget_seconds;
+  return rc;
+}
+
+// Paper Table 3 query sizes: Human (and the large-graph appendix datasets)
+// get small queries; everything else gets 25..200. Sizes that don't fit the
+// (possibly scaled-down) data graph are dropped.
+inline std::vector<uint32_t> QuerySizes(const std::string& dataset,
+                                        const Graph& g) {
+  std::vector<uint32_t> sizes;
+  if (dataset == "human" || dataset == "wordnet" || dataset == "dblp") {
+    sizes = {10, 15, 20, 25};
+  } else {
+    sizes = {25, 50, 100, 200};
+  }
+  std::vector<uint32_t> fitting;
+  for (uint32_t s : sizes) {
+    if (s * 3 <= g.NumVertices()) fitting.push_back(s);
+  }
+  return fitting;
+}
+
+// The paper's default query size for a dataset, clamped to the graph.
+inline uint32_t DefaultQuerySize(const std::string& dataset, const Graph& g) {
+  uint32_t want = (dataset == "human" || dataset == "wordnet" ||
+                   dataset == "dblp")
+                      ? 15
+                      : 50;
+  while (want > 4 && want * 3 > g.NumVertices()) want /= 2;
+  return want;
+}
+
+inline std::string SetName(uint32_t size, bool sparse) {
+  return "q" + std::to_string(size) + (sparse ? "S" : "N");
+}
+
+// Deterministic query-set seeds: one stream per (dataset hash, size, S/N).
+inline uint64_t SetSeed(const std::string& dataset, uint32_t size,
+                        bool sparse) {
+  uint64_t h = 1099511628211ull;
+  for (char ch : dataset) h = (h ^ static_cast<uint8_t>(ch)) * 16777619ull;
+  return h ^ (static_cast<uint64_t>(size) << 20) ^ (sparse ? 1 : 0);
+}
+
+inline std::vector<Graph> MakeQuerySet(const Graph& g,
+                                       const std::string& dataset,
+                                       uint32_t size, bool sparse,
+                                       const Config& c) {
+  return GenerateQuerySet(g, c.queries_per_set, size, sparse,
+                          SetSeed(dataset, size, sparse));
+}
+
+// The paper's default synthetic data graph, scaled.
+inline Graph MakeDefaultSynthetic(const Config& c, uint64_t seed = 20160626) {
+  SyntheticOptions options;
+  options.num_vertices =
+      std::max<uint32_t>(1000, static_cast<uint32_t>(100'000 * c.scale));
+  options.average_degree = 8.0;
+  options.num_labels = 50;
+  options.seed = seed;
+  return MakeSynthetic(options);
+}
+
+inline Graph MakeBenchGraph(const std::string& dataset, const Config& c) {
+  if (dataset == "synthetic") return MakeDefaultSynthetic(c);
+  return MakeDatasetLike(dataset, c.scale);
+}
+
+inline void PrintPreamble(const std::string& artifact,
+                          const std::string& description, const Config& c) {
+  std::cout << "=== " << artifact << ": " << description << " ===\n"
+            << "config: scale=" << c.scale
+            << " queries/set=" << c.queries_per_set
+            << " set-budget=" << c.set_budget_seconds << "s"
+            << " #embeddings=" << c.max_embeddings << "\n"
+            << "(times are avg ms per query; 'INF' = query set exceeded its "
+               "budget, as in the paper)\n\n";
+}
+
+inline void PrintGraphLine(const std::string& dataset, const Graph& g) {
+  std::cout << "data graph [" << dataset << "-like] "
+            << Describe(ComputeStats(g)) << "\n";
+}
+
+}  // namespace cfl::bench
+
+#endif  // CFL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,54 @@
+// Reproduces paper Figure 8: total processing time per query, varying
+// |V(q)|, for QuickSI / TurboISO / CFL-Match on HPRD-, Yeast-, Synthetic-,
+// and Human-like data graphs (one table per subfigure).
+//
+// Expected shape (paper Section 6.1 Eval-I): CFL-Match consistently fastest;
+// TurboISO beats QuickSI; the gap widens with query size, with QuickSI and
+// TurboISO going INF on the larger/denser settings.
+
+#include "baseline/quicksi.h"
+#include "baseline/turboiso.h"
+#include "bench/bench_common.h"
+
+namespace cfl::bench {
+namespace {
+
+void RunDataset(const std::string& dataset, const Config& config) {
+  Graph g = MakeBenchGraph(dataset, config);
+  PrintGraphLine(dataset, g);
+
+  std::vector<std::unique_ptr<SubgraphEngine>> engines;
+  engines.push_back(MakeQuickSi(g));
+  engines.push_back(MakeTurboIso(g));
+  engines.push_back(MakeCflMatch(g));
+
+  Table table({"query set", "QuickSI", "TurboISO", "CFL-Match"});
+  for (uint32_t size : QuerySizes(dataset, g)) {
+    for (bool sparse : {true, false}) {
+      std::vector<Graph> queries =
+          MakeQuerySet(g, dataset, size, sparse, config);
+      std::vector<std::string> row = {SetName(size, sparse)};
+      for (const auto& engine : engines) {
+        row.push_back(
+            FormatResult(RunQuerySet(*engine, queries, MakeRunConfig(config))));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main() {
+  using namespace cfl::bench;
+  Config config = LoadConfig();
+  PrintPreamble("Figure 8", "total processing time vs |V(q)|", config);
+  for (const std::string dataset :
+       {"hprd", "yeast", "synthetic", "human"}) {
+    RunDataset(dataset, config);
+  }
+  return 0;
+}

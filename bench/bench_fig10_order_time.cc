@@ -1,0 +1,52 @@
+// Reproduces paper Figure 10: query-vertex ordering time (matching order
+// plus the auxiliary structures needed to compute it — the CPI for
+// CFL-Match, candidate regions for TurboISO) vs |V(q)| on HPRD-like and
+// Synthetic graphs. QuickSI is omitted, as in the paper, because its
+// frequency-table ordering time is negligible.
+//
+// Expected shape (Eval-I): CFL-Match's ordering time is much smaller than
+// TurboISO's thanks to the O(|E(q)| x |E(G)|) CPI construction.
+
+#include "baseline/turboiso.h"
+#include "bench/bench_common.h"
+
+namespace cfl::bench {
+namespace {
+
+void RunDataset(const std::string& dataset, const Config& config) {
+  Graph g = MakeBenchGraph(dataset, config);
+  PrintGraphLine(dataset, g);
+
+  std::vector<std::unique_ptr<SubgraphEngine>> engines;
+  engines.push_back(MakeTurboIso(g));
+  engines.push_back(MakeCflMatch(g));
+
+  Table table({"query set", "TurboISO", "CFL-Match"});
+  for (uint32_t size : QuerySizes(dataset, g)) {
+    for (bool sparse : {true, false}) {
+      std::vector<Graph> queries =
+          MakeQuerySet(g, dataset, size, sparse, config);
+      std::vector<std::string> row = {SetName(size, sparse)};
+      for (const auto& engine : engines) {
+        row.push_back(FormatOrderResult(
+            RunQuerySet(*engine, queries, MakeRunConfig(config))));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main() {
+  using namespace cfl::bench;
+  Config config = LoadConfig();
+  PrintPreamble("Figure 10", "query vertex ordering time vs |V(q)|", config);
+  for (const std::string dataset : {"hprd", "synthetic"}) {
+    RunDataset(dataset, config);
+  }
+  return 0;
+}

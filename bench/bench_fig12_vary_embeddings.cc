@@ -1,0 +1,58 @@
+// Reproduces paper Figure 12: total processing time when varying the number
+// of embeddings to be reported (1e3, 1e5, 1e8) on the default query sets.
+//
+// Expected shape (Eval-III): all engines slow down as more embeddings are
+// requested; CFL-Match consistently fastest, QuickSI worst.
+
+#include "baseline/quicksi.h"
+#include "baseline/turboiso.h"
+#include "bench/bench_common.h"
+
+namespace cfl::bench {
+namespace {
+
+void RunDataset(const std::string& dataset, const Config& config) {
+  Graph g = MakeBenchGraph(dataset, config);
+  PrintGraphLine(dataset, g);
+
+  std::vector<std::unique_ptr<SubgraphEngine>> engines;
+  engines.push_back(MakeQuickSi(g));
+  engines.push_back(MakeTurboIso(g));
+  engines.push_back(MakeCflMatch(g));
+
+  const uint32_t default_size = DefaultQuerySize(dataset, g);
+
+  Table table(
+      {"query set", "#embeddings", "QuickSI", "TurboISO", "CFL-Match"});
+  for (bool sparse : {true, false}) {
+    std::vector<Graph> queries =
+        MakeQuerySet(g, dataset, default_size, sparse, config);
+    for (uint64_t cap : {uint64_t{1'000}, uint64_t{100'000},
+                         uint64_t{100'000'000}}) {
+      Config varied = config;
+      varied.max_embeddings = cap;
+      std::vector<std::string> row = {SetName(default_size, sparse),
+                                      std::to_string(cap)};
+      for (const auto& engine : engines) {
+        row.push_back(FormatResult(
+            RunQuerySet(*engine, queries, MakeRunConfig(varied))));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main() {
+  using namespace cfl::bench;
+  Config config = LoadConfig();
+  PrintPreamble("Figure 12", "total processing time vs #embeddings", config);
+  for (const std::string dataset : {"hprd", "synthetic"}) {
+    RunDataset(dataset, config);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces paper Figure 16: scalability of CFL-Match on synthetic graphs —
+// (a) vary |V(G)| in {100k, 500k, 1000k}, (b) vary d(G) in {4, 8, 16, 32},
+// (c) vary |Sigma| in {25, 50, 100, 200}, and (d) the CPI index size while
+// varying |Sigma|. Default query sets q50S / q50N.
+//
+// Expected shape (Eval-VII): processing time grows linearly in |V(G)| and
+// (almost) linearly in d(G) — CPI construction O(|E(G)| x |E(q)|) dominates;
+// time and CPI size *decrease* as |Sigma| grows (fewer candidates per query
+// vertex).
+
+#include <sstream>
+
+#include "bench/bench_common.h"
+
+namespace cfl::bench {
+namespace {
+
+Graph MakeSyntheticVariant(const Config& c, uint32_t vertices_full,
+                           double degree, uint32_t labels) {
+  SyntheticOptions options;
+  options.num_vertices =
+      std::max<uint32_t>(1000, static_cast<uint32_t>(vertices_full * c.scale));
+  options.average_degree = degree;
+  options.num_labels = labels;
+  options.seed = 20160626 ^ vertices_full ^ (labels << 8) ^
+                 static_cast<uint64_t>(degree * 16);
+  return MakeSynthetic(options);
+}
+
+struct Cell {
+  std::string time;
+  std::string index_entries;
+};
+
+Cell RunOne(const Graph& g, const std::string& tag, bool sparse,
+            const Config& config) {
+  std::unique_ptr<SubgraphEngine> engine = MakeCflMatch(g);
+  std::vector<Graph> queries = MakeQuerySet(g, tag, 50, sparse, config);
+  QuerySetResult r = RunQuerySet(*engine, queries, MakeRunConfig(config));
+  std::ostringstream entries;
+  entries << static_cast<uint64_t>(r.avg_index_entries);
+  return {FormatResult(r), r.IsInf() ? std::string(kInf) : entries.str()};
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main() {
+  using namespace cfl;
+  using namespace cfl::bench;
+  Config config = LoadConfig();
+  PrintPreamble("Figure 16", "scalability of CFL-Match on synthetic graphs",
+                config);
+
+  {
+    std::cout << "(a) vary |V(G)| (d=8, |Sigma|=50; sizes scaled by "
+              << config.scale << ")\n";
+    Table table({"|V(G)|", "q50S", "q50N"});
+    for (uint32_t v : {100'000u, 500'000u, 1'000'000u}) {
+      Graph g = MakeSyntheticVariant(config, v, 8.0, 50);
+      table.AddRow({std::to_string(g.NumVertices()),
+                    RunOne(g, "synV" + std::to_string(v), true, config).time,
+                    RunOne(g, "synV" + std::to_string(v), false, config).time});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "(b) vary d(G) (|V|=100k scaled, |Sigma|=50)\n";
+    Table table({"d(G)", "q50S", "q50N"});
+    for (double d : {4.0, 8.0, 16.0, 32.0}) {
+      Graph g = MakeSyntheticVariant(config, 100'000, d, 50);
+      std::string tag = "synD" + std::to_string(static_cast<int>(d));
+      table.AddRow({std::to_string(static_cast<int>(d)),
+                    RunOne(g, tag, true, config).time,
+                    RunOne(g, tag, false, config).time});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "(c) vary |Sigma| (|V|=100k scaled, d=8) and\n"
+                 "(d) CPI index size (avg entries per query) while varying "
+                 "|Sigma|\n";
+    Table table({"|Sigma|", "q50S", "q50N", "CPI q50S", "CPI q50N"});
+    for (uint32_t labels : {25u, 50u, 100u, 200u}) {
+      Graph g = MakeSyntheticVariant(config, 100'000, 8.0, labels);
+      std::string tag = "synL" + std::to_string(labels);
+      Cell s = RunOne(g, tag, true, config);
+      Cell n = RunOne(g, tag, false, config);
+      table.AddRow({std::to_string(labels), s.time, n.time, s.index_entries,
+                    n.index_entries});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Figure 20 (appendix): the Figure-12 experiment split into
+// enumeration time and ordering time while varying #embeddings.
+//
+// Expected shape (Eval-A-I): CFL-Match's ordering time is *independent* of
+// #embeddings (the CPI is built once, in full); TurboISO's ordering time
+// grows with #embeddings because it explores/materializes candidate regions
+// on demand as more embeddings are requested.
+
+#include "baseline/turboiso.h"
+#include "bench/bench_common.h"
+
+namespace cfl::bench {
+namespace {
+
+void RunDataset(const std::string& dataset, const Config& config) {
+  Graph g = MakeBenchGraph(dataset, config);
+  PrintGraphLine(dataset, g);
+
+  std::vector<std::unique_ptr<SubgraphEngine>> engines;
+  engines.push_back(MakeTurboIso(g));
+  engines.push_back(MakeCflMatch(g));
+
+  const uint32_t default_size = DefaultQuerySize(dataset, g);
+
+  Table table({"query set", "#embeddings", "TurboISO enum", "TurboISO order",
+               "CFL enum", "CFL order"});
+  for (bool sparse : {true, false}) {
+    std::vector<Graph> queries =
+        MakeQuerySet(g, dataset, default_size, sparse, config);
+    for (uint64_t cap : {uint64_t{1'000}, uint64_t{100'000},
+                         uint64_t{100'000'000}}) {
+      Config varied = config;
+      varied.max_embeddings = cap;
+      std::vector<std::string> row = {SetName(default_size, sparse),
+                                      std::to_string(cap)};
+      for (const auto& engine : engines) {
+        QuerySetResult r = RunQuerySet(*engine, queries, MakeRunConfig(varied));
+        row.push_back(FormatEnumResult(r));
+        row.push_back(FormatOrderResult(r));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main() {
+  using namespace cfl::bench;
+  Config config = LoadConfig();
+  PrintPreamble("Figure 20", "enumeration/ordering split vs #embeddings",
+                config);
+  for (const std::string dataset : {"hprd", "synthetic"}) {
+    RunDataset(dataset, config);
+  }
+  return 0;
+}

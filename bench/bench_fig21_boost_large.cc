@@ -1,0 +1,58 @@
+// Reproduces paper Figure 21 (appendix): TurboISO-Boost against QuickSI,
+// TurboISO, and CFL-Match on the two large real graphs, DBLP-like and
+// WordNet-like.
+//
+// Expected shape (Eval-A-II): TurboISO-Boost helps TurboISO on some WordNet
+// query sets (high compression) and hurts on others (overheads); CFL-Match
+// significantly outperforms all of them either way.
+
+#include "baseline/compress.h"
+#include "baseline/quicksi.h"
+#include "baseline/turboiso.h"
+#include "bench/bench_common.h"
+
+namespace cfl::bench {
+namespace {
+
+void RunDataset(const std::string& dataset, const Config& config) {
+  Graph g = MakeBenchGraph(dataset, config);
+  PrintGraphLine(dataset, g);
+  std::cout << "SE compression ratio: " << CompressBySE(g).CompressionRatio()
+            << "\n";
+
+  std::vector<std::unique_ptr<SubgraphEngine>> engines;
+  engines.push_back(MakeQuickSi(g));
+  engines.push_back(MakeTurboIso(g));
+  engines.push_back(MakeTurboIsoBoost(g));
+  engines.push_back(MakeCflMatch(g));
+
+  Table table({"query set", "QuickSI", "TurboISO", "TurboISO-Boost",
+               "CFL-Match"});
+  for (uint32_t size : QuerySizes(dataset, g)) {
+    for (bool sparse : {true, false}) {
+      std::vector<Graph> queries =
+          MakeQuerySet(g, dataset, size, sparse, config);
+      std::vector<std::string> row = {SetName(size, sparse)};
+      for (const auto& engine : engines) {
+        row.push_back(
+            FormatResult(RunQuerySet(*engine, queries, MakeRunConfig(config))));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main() {
+  using namespace cfl::bench;
+  Config config = LoadConfig();
+  PrintPreamble("Figure 21", "the boost technique on large graphs", config);
+  for (const std::string dataset : {"wordnet", "dblp"}) {
+    RunDataset(dataset, config);
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces paper Figure 22 (appendix): frequent vs infrequent vs random
+// query sets on DBLP-like and WordNet-like graphs, comparing CFL-Match and
+// TurboISO. Frequent queries have many embeddings (count above a high bar),
+// infrequent ones few (below a low bar); random is the ordinary generator
+// output. The bars scale with the graph size (the paper used 1e4/1e3 on
+// DBLP and 1e8 on WordNet at full size).
+//
+// Expected shape (Eval-A-II): CFL-Match much faster than TurboISO on all
+// three classes.
+
+#include "baseline/turboiso.h"
+#include "bench/bench_common.h"
+
+namespace cfl::bench {
+namespace {
+
+struct Classified {
+  std::vector<Graph> frequent;
+  std::vector<Graph> infrequent;
+  std::vector<Graph> random;
+};
+
+Classified ClassifyQueries(const Graph& g, const std::string& dataset,
+                           uint32_t size, const Config& config) {
+  Classified out;
+  std::unique_ptr<SubgraphEngine> probe = MakeCflMatch(g);
+  // DBLP's 100 uniform labels make large counts rare at reduced scale; its
+  // bars sit lower (the paper's full-scale bars were 1e4/1e3 on DBLP and
+  // 1e8 on WordNet).
+  const uint64_t hi = (dataset == "dblp") ? 2'000 : 10'000;
+  const uint64_t lo = hi / 10;
+  MatchLimits probe_limits;
+  probe_limits.max_embeddings = hi;
+  probe_limits.time_limit_seconds = 1.0;
+  // Probe a larger pool; keep up to queries_per_set of each class.
+  uint32_t pool = config.queries_per_set * 8;
+  for (uint32_t i = 0; i < pool; ++i) {
+    QueryGenOptions qo;
+    qo.num_vertices = size;
+    qo.sparse = (i % 2 == 0);
+    qo.seed = SetSeed(dataset, size, false) * 131 + i;
+    Graph q = GenerateQuery(g, qo);
+    if (out.random.size() < config.queries_per_set) out.random.push_back(q);
+    MatchResult r = probe->Run(q, probe_limits);
+    if (r.timed_out) continue;
+    if (r.embeddings >= hi && out.frequent.size() < config.queries_per_set) {
+      out.frequent.push_back(q);
+    } else if (r.embeddings <= lo &&
+               out.infrequent.size() < config.queries_per_set) {
+      out.infrequent.push_back(q);
+    }
+    if (out.frequent.size() >= config.queries_per_set &&
+        out.infrequent.size() >= config.queries_per_set &&
+        out.random.size() >= config.queries_per_set) {
+      break;
+    }
+  }
+  return out;
+}
+
+void RunDataset(const std::string& dataset, const Config& config) {
+  Graph g = MakeBenchGraph(dataset, config);
+  PrintGraphLine(dataset, g);
+
+  const uint32_t size = DefaultQuerySize(dataset, g);
+  Classified sets = ClassifyQueries(g, dataset, size, config);
+
+  std::vector<std::unique_ptr<SubgraphEngine>> engines;
+  engines.push_back(MakeTurboIso(g));
+  engines.push_back(MakeCflMatch(g));
+
+  Table table({"query class", "#queries", "TurboISO", "CFL-Match"});
+  auto add = [&](const char* name, const std::vector<Graph>& queries) {
+    std::vector<std::string> row = {name, std::to_string(queries.size())};
+    for (const auto& engine : engines) {
+      if (queries.empty()) {
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(
+          FormatResult(RunQuerySet(*engine, queries, MakeRunConfig(config))));
+    }
+    table.AddRow(std::move(row));
+  };
+  add("frequent", sets.frequent);
+  add("infrequent", sets.infrequent);
+  add("random", sets.random);
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main() {
+  using namespace cfl::bench;
+  Config config = LoadConfig();
+  PrintPreamble("Figure 22", "frequent vs infrequent vs random queries",
+                config);
+  for (const std::string dataset : {"wordnet", "dblp"}) {
+    RunDataset(dataset, config);
+  }
+  return 0;
+}

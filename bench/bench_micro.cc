@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the individual components:
+// CPI construction strategies, candidate filters, decomposition, ordering,
+// and data-graph compression. These complement the figure benches by
+// isolating each subsystem's cost.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/compress.h"
+#include "cpi/candidate_filter.h"
+#include "cpi/cpi_builder.h"
+#include "decomp/bfs_tree.h"
+#include "decomp/cfl_decomposition.h"
+#include "decomp/two_core.h"
+#include "gen/datasets.h"
+#include "gen/query_gen.h"
+#include "gen/synthetic.h"
+#include "match/cfl_match.h"
+#include "order/matching_order.h"
+
+namespace cfl {
+namespace {
+
+const Graph& BenchData() {
+  static const Graph* g = new Graph(MakeYeastLike(1.0));
+  return *g;
+}
+
+Graph BenchQuery(uint32_t size) {
+  QueryGenOptions options;
+  options.num_vertices = size;
+  options.sparse = false;
+  options.seed = 77;
+  return GenerateQuery(BenchData(), options);
+}
+
+void BM_TwoCore(benchmark::State& state) {
+  Graph q = BenchQuery(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoCoreMembership(q));
+  }
+}
+BENCHMARK(BM_TwoCore)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CflDecompose(benchmark::State& state) {
+  Graph q = BenchQuery(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecomposeCfl(q));
+  }
+}
+BENCHMARK(BM_CflDecompose)->Arg(50)->Arg(200);
+
+void BM_CpiConstruction(benchmark::State& state) {
+  const Graph& g = BenchData();
+  Graph q = BenchQuery(50);
+  BfsTree tree = BuildBfsTree(q, 0);
+  CpiBuilder builder(g);
+  CpiStrategy strategy = static_cast<CpiStrategy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.Build(q, tree, strategy));
+  }
+}
+BENCHMARK(BM_CpiConstruction)
+    ->Arg(static_cast<int>(CpiStrategy::kNaive))
+    ->Arg(static_cast<int>(CpiStrategy::kTopDown))
+    ->Arg(static_cast<int>(CpiStrategy::kRefined));
+
+void BM_MatchingOrder(benchmark::State& state) {
+  const Graph& g = BenchData();
+  Graph q = BenchQuery(static_cast<uint32_t>(state.range(0)));
+  CflDecomposition d = DecomposeCfl(q);
+  VertexId root = d.core.front();
+  BfsTree tree = BuildBfsTree(q, root);
+  Cpi cpi = BuildCpi(q, g, tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeMatchingOrder(q, cpi, d, DecompositionMode::kCfl));
+  }
+}
+BENCHMARK(BM_MatchingOrder)->Arg(50)->Arg(200);
+
+void BM_CandVerify(benchmark::State& state) {
+  const Graph& g = BenchData();
+  Graph q = BenchQuery(50);
+  for (auto _ : state) {
+    uint64_t passed = 0;
+    for (VertexId v : g.VerticesWithLabel(q.label(0))) {
+      passed += CandVerify(q, 0, g, v) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(passed);
+  }
+}
+BENCHMARK(BM_CandVerify);
+
+void BM_FullMatch(benchmark::State& state) {
+  const Graph& g = BenchData();
+  Graph q = BenchQuery(static_cast<uint32_t>(state.range(0)));
+  CflMatcher matcher(g);
+  MatchOptions options;
+  options.limits.max_embeddings = 100'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(q, options));
+  }
+}
+BENCHMARK(BM_FullMatch)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Compression(benchmark::State& state) {
+  Graph g = MakeHumanLike(0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompressBySE(g));
+  }
+}
+BENCHMARK(BM_Compression);
+
+void BM_QueryGeneration(benchmark::State& state) {
+  const Graph& g = BenchData();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    QueryGenOptions options;
+    options.num_vertices = 50;
+    options.seed = ++seed;
+    benchmark::DoNotOptimize(GenerateQuery(g, options));
+  }
+}
+BENCHMARK(BM_QueryGeneration);
+
+}  // namespace
+}  // namespace cfl
+
+BENCHMARK_MAIN();

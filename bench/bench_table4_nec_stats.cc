@@ -1,0 +1,65 @@
+// Reproduces paper Table 4: how compressible query *core-structures* are
+// under the NEC query-compression of TurboISO [8]. For every dataset and
+// query set it reports Avg (average number of vertices removed by NEC
+// merging of the core-structure) and #R (number of queries whose core
+// compresses at all).
+//
+// Expected shape: tiny averages (mostly < 1 vertex) — the justification for
+// CFL-Match not compressing core-structures (paper Section 4.2 Remark).
+
+#include <iomanip>
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "decomp/nec.h"
+#include "decomp/two_core.h"
+#include "graph/graph_builder.h"
+
+namespace cfl::bench {
+namespace {
+
+void RunDataset(const std::string& dataset, const Config& config) {
+  Graph g = MakeBenchGraph(dataset, config);
+  PrintGraphLine(dataset, g);
+
+  Table table({"query set", "Avg", "#R", "#queries"});
+  for (uint32_t size : QuerySizes(dataset, g)) {
+    for (bool sparse : {true, false}) {
+      std::vector<Graph> queries =
+          MakeQuerySet(g, dataset, size, sparse, config);
+      uint64_t reduced_total = 0;
+      uint32_t reduced_queries = 0;
+      for (const Graph& q : queries) {
+        std::vector<VertexId> core = TwoCoreVertices(q);
+        if (core.size() < 2) continue;
+        uint32_t reduced = NecReducedVertices(InducedSubgraph(q, core));
+        reduced_total += reduced;
+        if (reduced > 0) ++reduced_queries;
+      }
+      std::ostringstream avg;
+      avg << std::fixed << std::setprecision(2)
+          << static_cast<double>(reduced_total) / queries.size();
+      table.AddRow({SetName(size, sparse), avg.str(),
+                    std::to_string(reduced_queries),
+                    std::to_string(queries.size())});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main() {
+  using namespace cfl::bench;
+  Config config = LoadConfig();
+  PrintPreamble("Table 4",
+                "NEC compressibility of query core-structures (Avg reduced "
+                "vertices; #R queries reduced)",
+                config);
+  for (const std::string dataset : {"hprd", "yeast", "synthetic", "human"}) {
+    RunDataset(dataset, config);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Head-to-head comparison of every matching engine in the library on one
+// workload — the quickest way to see the paper's headline result locally.
+//
+//   $ ./build/examples/compare_algorithms [dataset] [query_size] [S|N]
+//
+// dataset: hprd | yeast | human | wordnet | dblp | synthetic (default yeast)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/compress.h"
+#include "baseline/quicksi.h"
+#include "baseline/turboiso.h"
+#include "baseline/ullmann.h"
+#include "gen/datasets.h"
+#include "gen/query_gen.h"
+#include "gen/synthetic.h"
+#include "graph/graph_stats.h"
+#include "match/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace cfl;
+
+  std::string dataset = argc > 1 ? argv[1] : "yeast";
+  uint32_t query_size = argc > 2 ? std::atoi(argv[2]) : 50;
+  bool sparse = argc > 3 ? (argv[3][0] == 'S' || argv[3][0] == 's') : false;
+
+  Graph g;
+  if (dataset == "synthetic") {
+    SyntheticOptions options;
+    options.num_vertices = 50'000;
+    options.seed = 4;
+    g = MakeSynthetic(options);
+  } else {
+    g = MakeDatasetLike(dataset, /*scale=*/0.5);
+  }
+  std::printf("data graph [%s-like]: %s\n", dataset.c_str(),
+              Describe(ComputeStats(g)).c_str());
+
+  std::vector<Graph> queries =
+      GenerateQuerySet(g, /*count=*/10, query_size, sparse, /*seed=*/2016);
+  std::printf("10 random-walk queries, |V(q)|=%u, %s\n\n", query_size,
+              sparse ? "sparse" : "non-sparse");
+
+  std::vector<std::unique_ptr<SubgraphEngine>> engines;
+  engines.push_back(MakeUllmann(g));
+  engines.push_back(MakeQuickSi(g));
+  engines.push_back(MakeTurboIso(g));
+  engines.push_back(MakeTurboIsoBoost(g));
+  engines.push_back(MakeCflMatch(g));
+  engines.push_back(MakeCflMatchBoost(g));
+
+  MatchLimits limits;
+  limits.max_embeddings = 100'000;
+  limits.time_limit_seconds = 5.0;
+
+  std::printf("%-16s %12s %14s %9s\n", "engine", "avg ms/query",
+              "embeddings", "timeouts");
+  for (const auto& engine : engines) {
+    double total_s = 0.0;
+    uint64_t embeddings = 0;
+    uint32_t timeouts = 0;
+    for (const Graph& q : queries) {
+      MatchResult r = engine->Run(q, limits);
+      total_s += r.total_seconds;
+      embeddings += r.embeddings;
+      timeouts += r.timed_out ? 1 : 0;
+    }
+    std::printf("%-16s %12.3f %14llu %9u\n",
+                std::string(engine->name()).c_str(),
+                total_s * 1e3 / queries.size(),
+                static_cast<unsigned long long>(embeddings), timeouts);
+  }
+  std::printf(
+      "\n(embedding totals can differ slightly across engines when the cap\n"
+      " is hit: engines stop as soon as the count *reaches* the cap, and\n"
+      " CFL-Match counts leaf Cartesian products in bulk)\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Protein-motif search: the workload that motivates the paper (protein
+// interaction network analysis [13]). Builds a Yeast-scale PPI stand-in,
+// then searches for classic interaction motifs — triangles with tails,
+// stars, and a "bridged complexes" pattern — and reports match counts and
+// the phase timing breakdown.
+//
+//   $ ./build/examples/protein_motif_search [scale]
+//
+// scale in (0, 1] shrinks the network (default 1.0 = Yeast-size).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+#include "match/cfl_match.h"
+
+namespace {
+
+using namespace cfl;
+
+struct Motif {
+  std::string name;
+  Graph pattern;
+};
+
+// Motifs use labels that actually occur in the PPI stand-in (0 = the most
+// common GO-term bucket, etc. — the label distribution is power-law).
+std::vector<Motif> MakeMotifs() {
+  std::vector<Motif> motifs;
+  // A triangle of three distinct protein families.
+  motifs.push_back({"triangle(0,1,2)",
+                    MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}})});
+  // A hub protein with three identical-family partners (NEC-heavy: the
+  // three leaves collapse to one class in leaf-match).
+  motifs.push_back(
+      {"star(0;1,1,1)",
+       MakeGraph({0, 1, 1, 1}, {{0, 1}, {0, 2}, {0, 3}})});
+  // Two interacting hubs, each with private partners — the core-forest-leaf
+  // structure the paper's framework shines on. Common labels only, so the
+  // pattern actually occurs.
+  motifs.push_back(
+      {"bridged hubs",
+       MakeGraph({0, 0, 1, 1, 1, 1},
+                 {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {1, 5}})});
+  // A tailed triangle (core = triangle, tail = forest + leaf).
+  motifs.push_back(
+      {"tailed triangle",
+       MakeGraph({0, 0, 0, 1, 2},
+                 {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}})});
+  return motifs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  if (argc > 1) scale = std::atof(argv[1]);
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "usage: %s [scale in (0,1]]\n", argv[0]);
+    return 1;
+  }
+
+  Graph network = MakeYeastLike(scale);
+  std::printf("protein network (Yeast-like stand-in): %s\n",
+              Describe(ComputeStats(network)).c_str());
+
+  CflMatcher matcher(network);
+  MatchOptions options;
+  options.limits.max_embeddings = 10'000'000;
+  options.limits.time_limit_seconds = 30.0;
+
+  std::printf("\n%-20s %14s %10s %10s %10s\n", "motif", "matches",
+              "build(ms)", "order(ms)", "enum(ms)");
+  for (const Motif& motif : MakeMotifs()) {
+    MatchResult r = matcher.Match(motif.pattern, options);
+    std::printf("%-20s %14llu%c %9.3f %10.3f %10.3f\n", motif.name.c_str(),
+                static_cast<unsigned long long>(r.embeddings),
+                r.reached_limit ? '+' : ' ', r.build_seconds * 1e3,
+                r.order_seconds * 1e3, r.enumerate_seconds * 1e3);
+  }
+  std::printf("\n('+' marks counts truncated at the embedding cap)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Splits a concatenated `for b in build/bench/*; do $b; done` transcript
+(bench_output.txt) into per-bench files under results/.
+
+Each figure bench starts with a distinctive "=== <artifact>: ..." banner;
+google-benchmark output (bench_micro) is recognized by its context header.
+"""
+import os
+import re
+import sys
+
+BANNERS = {
+    "=== Ablation:": "bench_ablation_ordering.txt",
+    "=== Figure 8:": "bench_fig08_total_time.txt",
+    "=== Figure 9:": "bench_fig09_enum_time.txt",
+    "=== Figure 10:": "bench_fig10_order_time.txt",
+    "=== Figure 11:": "bench_fig11_core_enum.txt",
+    "=== Figure 12:": "bench_fig12_vary_embeddings.txt",
+    "=== Figure 13:": "bench_fig13_boost.txt",
+    "=== Figure 14:": "bench_fig14_framework.txt",
+    "=== Figure 15:": "bench_fig15_cpi_strategies.txt",
+    "=== Figure 16:": "bench_fig16_scalability.txt",
+    "=== Figure 20:": "bench_fig20_enum_order_split.txt",
+    "=== Figure 21:": "bench_fig21_boost_large.txt",
+    "=== Figure 22:": "bench_fig22_freq_queries.txt",
+    "=== Table 4:": "bench_table4_nec_stats.txt",
+}
+
+
+def main() -> None:
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "results"
+    os.makedirs(out_dir, exist_ok=True)
+    current = None
+    chunks: dict[str, list[str]] = {}
+    with open(src) as f:
+        for line in f:
+            for banner, name in BANNERS.items():
+                if line.startswith(banner):
+                    current = name
+                    break
+            if re.match(r"^\d{4}-\d{2}-\d{2}T", line) or line.startswith(
+                    "Running ") or line.startswith("Run on "):
+                current = "bench_micro.txt"
+            if current is not None:
+                chunks.setdefault(current, []).append(line)
+    for name, lines in chunks.items():
+        with open(os.path.join(out_dir, name), "w") as f:
+            f.writelines(lines)
+    print(f"wrote {len(chunks)} files to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#include "baseline/quicksi.h"
+
+#include <chrono>
+#include <vector>
+
+#include "graph/graph_stats.h"
+#include "match/embedding.h"
+#include "order/quicksi_order.h"
+
+namespace cfl {
+
+namespace {
+
+class QuickSiEngine : public SubgraphEngine {
+ public:
+  explicit QuickSiEngine(const Graph& data)
+      : data_(data), freq_(data) {}
+
+  std::string_view name() const override { return "QuickSI"; }
+
+  MatchResult Run(const Graph& query, const MatchLimits& limits) override {
+    auto start = std::chrono::steady_clock::now();
+    MatchResult result;
+    Deadline deadline(limits.time_limit_seconds);
+    const uint32_t n = query.NumVertices();
+
+    // QI-sequence (ordering time, negligible per the paper — it only reads
+    // the precomputed frequency table).
+    std::vector<QuickSiStep> seq = ComputeQiSequence(query, data_, freq_);
+    {
+      auto ordered = std::chrono::steady_clock::now();
+      result.order_seconds =
+          std::chrono::duration<double>(ordered - start).count();
+    }
+
+    Embedding mapping(n, kInvalidVertex);
+    std::vector<uint32_t> used(data_.NumVertices(), 0);
+
+    // First vertex iterates the label index; each later vertex iterates the
+    // data neighbors of its parent's mapping.
+    std::span<const VertexId> root_candidates =
+        data_.VerticesWithLabel(query.label(seq[0].u));
+    std::vector<uint32_t> cursor(n, 0);
+
+    auto unbind = [&](uint32_t d) {
+      --used[mapping[seq[d].u]];
+      mapping[seq[d].u] = kInvalidVertex;
+    };
+
+    uint32_t depth = 0;
+    while (true) {
+      if (deadline.ExpiredCoarse()) {
+        result.timed_out = true;
+        break;
+      }
+      const QuickSiStep& step = seq[depth];
+      std::span<const VertexId> source =
+          depth == 0 ? root_candidates
+                     : data_.Neighbors(mapping[step.parent]);
+      bool bound = false;
+      while (cursor[depth] < source.size()) {
+        VertexId v = source[cursor[depth]++];
+        if (data_.label(v) != query.label(step.u)) continue;
+        if (data_.degree(v) < query.StructuralDegree(step.u)) continue;
+        if (used[v] >= data_.multiplicity(v)) continue;
+        bool ok = true;
+        for (VertexId w : step.backward) {
+          if (!data_.HasEdge(mapping[w], v)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        mapping[step.u] = v;
+        ++used[v];
+        bound = true;
+        break;
+      }
+      if (!bound) {
+        if (depth == 0) break;
+        --depth;
+        unbind(depth);
+        continue;
+      }
+      if (depth + 1 == n) {
+        result.embeddings = SaturatingAdd(result.embeddings,
+                                          ExpansionFactor(data_, mapping));
+        unbind(depth);
+        if (result.embeddings >= limits.max_embeddings) {
+          result.reached_limit = true;
+          break;
+        }
+        continue;
+      }
+      ++depth;
+      cursor[depth] = 0;
+    }
+
+    result.total_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    result.enumerate_seconds = result.total_seconds - result.order_seconds;
+    return result;
+  }
+
+ private:
+  const Graph& data_;
+  LabelPairFrequency freq_;
+};
+
+}  // namespace
+
+std::unique_ptr<SubgraphEngine> MakeQuickSi(const Graph& data) {
+  return std::make_unique<QuickSiEngine>(data);
+}
+
+}  // namespace cfl

@@ -1,0 +1,26 @@
+// QuickSI (Shang, Zhang, Lin, Yu — PVLDB 2008; paper [15]).
+//
+// QuickSI tames verification cost with a *connected* matching order chosen
+// by the infrequent-first heuristic: query edges are weighted by the
+// frequency of their label pair among data edges, a minimum spanning tree
+// is grown from the lightest edge, and vertices are matched in tree order —
+// each new vertex's candidates are the data neighbors of its parent's
+// mapping, with all backward edges checked immediately.
+//
+// The ordering lives in order/quicksi_order.h; this is the matching engine.
+
+#ifndef CFL_BASELINE_QUICKSI_H_
+#define CFL_BASELINE_QUICKSI_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "match/engine.h"
+
+namespace cfl {
+
+std::unique_ptr<SubgraphEngine> MakeQuickSi(const Graph& data);
+
+}  // namespace cfl
+
+#endif  // CFL_BASELINE_QUICKSI_H_

@@ -1,0 +1,428 @@
+#include "baseline/turboiso.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "cpi/candidate_filter.h"
+#include "match/embedding.h"
+
+namespace cfl {
+
+namespace {
+
+// NLF filter as used by TurboISO (label/degree are checked separately).
+bool NlfOk(const Graph& q, VertexId u, const Graph& data, VertexId v) {
+  for (const Graph::LabelCount& need : q.NeighborLabelCounts(u)) {
+    if (data.NeighborLabelCount(v, need.label) < need.count) return false;
+  }
+  return true;
+}
+
+// One node of the rewritten query (NEC tree): a BFS-tree node whose members
+// are NEC-equivalent query vertices (>1 member only for merged degree-one
+// siblings with equal labels).
+struct NecNode {
+  std::vector<VertexId> members;
+  VertexId rep = kInvalidVertex;  // members.front()
+  Label label = 0;
+  uint32_t parent = kInvalidVertex;  // node index
+  std::vector<uint32_t> children;
+};
+
+// One backtracking step of SubgraphSearch: a single query vertex, possibly
+// the i-th member of an NEC node.
+struct SearchStep {
+  uint32_t node = 0;
+  VertexId u = kInvalidVertex;
+  uint32_t group_rank = 0;           // index within the node's members
+  VertexId parent_vertex = kInvalidVertex;  // query vertex the CR hangs off
+  std::vector<VertexId> backward;    // non-tree edges to earlier steps
+};
+
+class TurboIsoEngine : public SubgraphEngine {
+ public:
+  explicit TurboIsoEngine(const Graph& data)
+      : data_(data), index_(data) {}
+
+  std::string_view name() const override { return "TurboISO"; }
+
+  MatchResult Run(const Graph& query, const MatchLimits& limits) override;
+
+ private:
+  using CrKey = uint64_t;  // (node index << 32) | data vertex
+  static CrKey Key(uint32_t node, VertexId v) {
+    return (static_cast<uint64_t>(node) << 32) | v;
+  }
+
+  // ExploreCR with memoization; fills cr_ for (child, v) pairs.
+  bool Explore(const Graph& q, uint32_t node, VertexId v);
+
+  // Estimated number of (tree) embeddings of the subtree rooted at `node`
+  // when mapped to v, by DP over the CR.
+  double SubtreeCount(uint32_t node, VertexId v);
+
+  const Graph& data_;
+  LabelDegreeIndex index_;
+
+  // Per-query state.
+  std::vector<NecNode> nodes_;
+  std::vector<uint32_t> node_of_;  // query vertex -> node index
+
+  // Per-region state.
+  std::unordered_map<CrKey, std::vector<VertexId>> cr_;
+  std::unordered_map<CrKey, int8_t> explore_memo_;
+  std::unordered_map<CrKey, double> count_memo_;
+};
+
+bool TurboIsoEngine::Explore(const Graph& q, uint32_t node, VertexId v) {
+  auto memo = explore_memo_.find(Key(node, v));
+  if (memo != explore_memo_.end()) return memo->second != 0;
+
+  bool ok = true;
+  // Gather candidates per child; fail (and roll back) if any child cannot
+  // supply enough distinct data vertices for its NEC members.
+  std::vector<std::pair<uint32_t, std::vector<VertexId>>> pending;
+  for (uint32_t child : nodes_[node].children) {
+    const NecNode& c = nodes_[child];
+    std::vector<VertexId> cands;
+    for (VertexId w : data_.Neighbors(v)) {
+      if (data_.label(w) != c.label) continue;
+      if (data_.degree(w) < q.StructuralDegree(c.rep)) continue;
+      if (!NlfOk(q, c.rep, data_, w)) continue;
+      if (!Explore(q, child, w)) continue;
+      cands.push_back(w);
+    }
+    uint64_t capacity = 0;
+    for (VertexId w : cands) capacity += data_.multiplicity(w);
+    if (capacity < c.members.size()) {
+      ok = false;
+      break;
+    }
+    pending.emplace_back(child, std::move(cands));
+  }
+  if (ok) {
+    for (auto& [child, cands] : pending) {
+      cr_.emplace(Key(child, v), std::move(cands));
+    }
+  }
+  explore_memo_[Key(node, v)] = ok ? 1 : 0;
+  return ok;
+}
+
+double TurboIsoEngine::SubtreeCount(uint32_t node, VertexId v) {
+  auto memo = count_memo_.find(Key(node, v));
+  if (memo != count_memo_.end()) return memo->second;
+  double total = 1.0;
+  for (uint32_t child : nodes_[node].children) {
+    auto it = cr_.find(Key(child, v));
+    double sum = 0.0;
+    if (it != cr_.end()) {
+      for (VertexId w : it->second) sum += SubtreeCount(child, w);
+    }
+    total *= sum;
+  }
+  count_memo_[Key(node, v)] = total;
+  return total;
+}
+
+MatchResult TurboIsoEngine::Run(const Graph& query, const MatchLimits& limits) {
+  auto t_start = std::chrono::steady_clock::now();
+  MatchResult result;
+  Deadline deadline(limits.time_limit_seconds);
+  const uint32_t n = query.NumVertices();
+
+  // --- 1. ChooseStartQueryVertex ----------------------------------------
+  VertexId start = 0;
+  double best_rank = std::numeric_limits<double>::infinity();
+  for (VertexId u = 0; u < n; ++u) {
+    double cands = static_cast<double>(
+        index_.CountAtLeast(query.label(u), query.StructuralDegree(u)));
+    double rank = cands / std::max<uint32_t>(1, query.StructuralDegree(u));
+    if (rank < best_rank) {
+      best_rank = rank;
+      start = u;
+    }
+  }
+
+  // --- 2. Rewrite to the NEC tree ----------------------------------------
+  nodes_.clear();
+  node_of_.assign(n, kInvalidVertex);
+  {
+    // BFS from start.
+    std::vector<VertexId> order;
+    std::vector<VertexId> parent(n, kInvalidVertex);
+    std::vector<bool> seen(n, false);
+    order.push_back(start);
+    seen[start] = true;
+    for (uint32_t head = 0; head < order.size(); ++head) {
+      for (VertexId w : query.Neighbors(order[head])) {
+        if (!seen[w]) {
+          seen[w] = true;
+          parent[w] = order[head];
+          order.push_back(w);
+        }
+      }
+    }
+    // Nodes: merge degree-one siblings with equal labels; everything else
+    // is a singleton node. Parent nodes are created before children since
+    // `order` is BFS order.
+    for (VertexId u : order) {
+      if (node_of_[u] != kInvalidVertex) continue;
+      NecNode node;
+      node.members.push_back(u);
+      node.rep = u;
+      node.label = query.label(u);
+      if (parent[u] != kInvalidVertex) {
+        node.parent = node_of_[parent[u]];
+        // Merge with later degree-one same-label siblings.
+        if (query.StructuralDegree(u) == 1) {
+          for (VertexId s : query.Neighbors(parent[u])) {
+            if (s != u && parent[s] == parent[u] &&
+                query.StructuralDegree(s) == 1 &&
+                query.label(s) == query.label(u) &&
+                node_of_[s] == kInvalidVertex) {
+              node.members.push_back(s);
+            }
+          }
+        }
+      }
+      uint32_t idx = static_cast<uint32_t>(nodes_.size());
+      for (VertexId m : node.members) node_of_[m] = idx;
+      if (node.parent != kInvalidVertex) nodes_[node.parent].children.push_back(idx);
+      nodes_.push_back(std::move(node));
+    }
+
+    // Non-tree edges (on original vertices) are validated during search via
+    // each step's backward list, built after ordering.
+    (void)parent;
+  }
+
+  // k! multiplier for NEC combinations (plain data graphs only).
+  uint64_t nec_factor = 1;
+  for (const NecNode& node : nodes_) {
+    for (uint64_t k = 2; k <= node.members.size(); ++k) {
+      nec_factor = SaturatingMul(nec_factor, k);
+    }
+  }
+  const bool compressed = data_.HasMultiplicities();
+
+  // Root-to-leaf node paths of the NEC tree (shared by all regions).
+  std::vector<std::vector<uint32_t>> node_paths;
+  {
+    std::vector<uint32_t> path;
+    std::vector<std::pair<uint32_t, uint32_t>> stack = {{0u, 0u}};
+    while (!stack.empty()) {
+      auto [nd, depth] = stack.back();
+      stack.pop_back();
+      path.resize(depth);
+      path.push_back(nd);
+      if (nodes_[nd].children.empty()) {
+        node_paths.push_back(path);
+      } else {
+        for (auto it = nodes_[nd].children.rbegin();
+             it != nodes_[nd].children.rend(); ++it) {
+          stack.emplace_back(*it, depth + 1);
+        }
+      }
+    }
+  }
+
+  double explore_order_seconds = 0.0;
+  double search_seconds = 0.0;
+
+  // --- 3..5: per-region explore, order, search ---------------------------
+  Embedding mapping(n, kInvalidVertex);
+  std::vector<uint32_t> used(data_.NumVertices(), 0);
+
+  const NecNode& root = nodes_[0];
+  for (VertexId vs : data_.VerticesWithLabel(root.label)) {
+    if (deadline.Expired()) {
+      result.timed_out = true;
+      break;
+    }
+    if (data_.degree(vs) < query.StructuralDegree(root.rep)) continue;
+    if (!NlfOk(query, root.rep, data_, vs)) continue;
+
+    auto t_region = std::chrono::steady_clock::now();
+    cr_.clear();
+    explore_memo_.clear();
+    count_memo_.clear();
+    if (!Explore(query, 0, vs)) {
+      explore_order_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t_region)
+              .count();
+      continue;
+    }
+    for (const auto& [key, cands] : cr_) result.index_entries += cands.size();
+
+    // Per-region matching order: paths with fewer estimated embeddings
+    // first; the node sequence is paths concatenated minus shared prefixes.
+    std::vector<std::pair<double, uint32_t>> ranked;
+    for (uint32_t p = 0; p < node_paths.size(); ++p) {
+      // Path cardinality = product of per-level candidate means; use the
+      // subtree DP restricted to the path's leaf for a cheap proxy:
+      // c(path) ~ subtree count at root restricted to that branch. We use
+      // the exact DP count of the path: product over path edges of average
+      // fan-out, computed by a per-path DP over the CR.
+      const std::vector<uint32_t>& path = node_paths[p];
+      std::unordered_map<VertexId, double> counts;
+      counts[vs] = 1.0;
+      double total = 1.0;
+      for (size_t i = 1; i < path.size(); ++i) {
+        std::unordered_map<VertexId, double> next;
+        for (const auto& [v, c] : counts) {
+          auto it = cr_.find(Key(path[i], v));
+          if (it == cr_.end()) continue;
+          for (VertexId w : it->second) next[w] += c;
+        }
+        counts = std::move(next);
+      }
+      total = 0.0;
+      for (const auto& [v, c] : counts) total += c;
+      ranked.emplace_back(total, p);
+    }
+    std::sort(ranked.begin(), ranked.end());
+
+    std::vector<uint32_t> node_order;
+    std::vector<bool> node_placed(nodes_.size(), false);
+    for (const auto& [cnt, p] : ranked) {
+      for (uint32_t nd : node_paths[p]) {
+        if (!node_placed[nd]) {
+          node_placed[nd] = true;
+          node_order.push_back(nd);
+        }
+      }
+    }
+
+    // Flatten to per-vertex steps with backward non-tree edges.
+    std::vector<SearchStep> steps;
+    std::vector<bool> placed(n, false);
+    for (uint32_t nd : node_order) {
+      const NecNode& node = nodes_[nd];
+      for (uint32_t r = 0; r < node.members.size(); ++r) {
+        SearchStep step;
+        step.node = nd;
+        step.u = node.members[r];
+        step.group_rank = r;
+        step.parent_vertex = (node.parent == kInvalidVertex)
+                                 ? kInvalidVertex
+                                 : nodes_[node.parent].rep;
+        VertexId tree_parent = step.parent_vertex;
+        for (VertexId w : query.Neighbors(step.u)) {
+          if (placed[w] && w != tree_parent) step.backward.push_back(w);
+        }
+        placed[step.u] = true;
+        steps.push_back(std::move(step));
+      }
+    }
+
+    explore_order_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_region)
+            .count();
+    auto t_search = std::chrono::steady_clock::now();
+
+    // SubgraphSearch.
+    std::vector<uint32_t> cursor(steps.size(), 0);
+    std::vector<uint32_t> chosen(steps.size(), 0);
+    size_t depth = 0;
+    cursor[0] = 0;
+    bool region_done = false;
+    while (!region_done) {
+      if (deadline.ExpiredCoarse()) {
+        result.timed_out = true;
+        break;
+      }
+      const SearchStep& step = steps[depth];
+      const std::vector<VertexId>* source = nullptr;
+      std::vector<VertexId> root_source;
+      if (step.parent_vertex == kInvalidVertex) {
+        root_source.push_back(vs);
+        source = &root_source;
+      } else {
+        auto it = cr_.find(Key(step.node, mapping[step.parent_vertex]));
+        source = (it != cr_.end()) ? &it->second : &root_source;  // empty
+      }
+      // Combination constraint: later members of a plain-graph NEC group
+      // must pick strictly later positions than the previous member.
+      if (!compressed && step.group_rank > 0 && cursor[depth] == 0) {
+        cursor[depth] = chosen[depth - 1] + 1;
+      }
+
+      bool bound = false;
+      while (cursor[depth] < source->size()) {
+        uint32_t idx = cursor[depth]++;
+        VertexId v = (*source)[idx];
+        if (used[v] >= data_.multiplicity(v)) continue;
+        bool ok = true;
+        for (VertexId w : step.backward) {
+          if (!data_.HasEdge(mapping[w], v)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        mapping[step.u] = v;
+        ++used[v];
+        chosen[depth] = idx;
+        bound = true;
+        break;
+      }
+      if (!bound) {
+        if (depth == 0) {
+          region_done = true;
+          break;
+        }
+        --depth;
+        --used[mapping[steps[depth].u]];
+        mapping[steps[depth].u] = kInvalidVertex;
+        continue;
+      }
+      if (depth + 1 == steps.size()) {
+        uint64_t add =
+            compressed ? ExpansionFactor(data_, mapping) : nec_factor;
+        result.embeddings = SaturatingAdd(result.embeddings, add);
+        --used[mapping[step.u]];
+        mapping[step.u] = kInvalidVertex;
+        if (result.embeddings >= limits.max_embeddings) {
+          result.reached_limit = true;
+          break;
+        }
+        continue;
+      }
+      ++depth;
+      cursor[depth] = 0;
+    }
+    // Unwind any leftover bindings.
+    for (VertexId u = 0; u < n; ++u) {
+      if (mapping[u] != kInvalidVertex) {
+        --used[mapping[u]];
+        mapping[u] = kInvalidVertex;
+      }
+    }
+    search_seconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t_search)
+                          .count();
+
+    if (result.timed_out || result.reached_limit) break;
+  }
+
+  result.order_seconds = explore_order_seconds;
+  result.enumerate_seconds = search_seconds;
+  result.total_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t_start)
+                             .count();
+  return result;
+}
+
+}  // namespace
+
+std::unique_ptr<SubgraphEngine> MakeTurboIso(const Graph& data) {
+  return std::make_unique<TurboIsoEngine>(data);
+}
+
+}  // namespace cfl

@@ -1,0 +1,44 @@
+// TurboISO (Han, Lee, Lee — SIGMOD 2013; paper [8]).
+//
+// The state-of-the-art baseline the paper compares against. Our
+// re-implementation follows the published algorithm:
+//
+//   1. ChooseStartQueryVertex: argmin |C_ini(u)| / d_q(u) over label+degree
+//      filtered candidate counts.
+//   2. Query rewriting to an NEC tree: a BFS tree from the start vertex in
+//      which degree-one siblings with equal labels (neighborhood equivalence
+//      classes) merge into one node, so their permutations are never
+//      enumerated redundantly.
+//   3. ExploreCR: for each start candidate, a depth-first exploration
+//      materializes the candidate region (CR) — per (NEC-tree node, parent
+//      data vertex) candidate lists — with label/degree/NLF pruning and
+//      failure propagation (a vertex without enough child candidates is
+//      dropped).
+//   4. Per-region matching order: root-to-leaf paths of the NEC tree ordered
+//      by their estimated number of path embeddings in the CR (fewest
+//      first), computed by dynamic programming over the CR.
+//   5. SubgraphSearch: backtracking over the CR in that order; members of an
+//      NEC class are assigned combinations (counted with a k! multiplier)
+//      and non-tree edges are validated against the data graph.
+//
+// Note on fidelity: the original materializes path embeddings lazily and can
+// go exponential in space (the CFL paper's Challenge 2); our CR is memoized
+// per (node, vertex), so the *space* blowup is avoided while the behavioral
+// gap the paper measures — per-region overhead, no core/leaf postponement,
+// weaker candidate pruning — is preserved. DESIGN.md discusses this.
+
+#ifndef CFL_BASELINE_TURBOISO_H_
+#define CFL_BASELINE_TURBOISO_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "match/engine.h"
+
+namespace cfl {
+
+std::unique_ptr<SubgraphEngine> MakeTurboIso(const Graph& data);
+
+}  // namespace cfl
+
+#endif  // CFL_BASELINE_TURBOISO_H_

@@ -1,0 +1,113 @@
+#include "baseline/ullmann.h"
+
+#include <chrono>
+#include <vector>
+
+#include "match/embedding.h"
+
+namespace cfl {
+
+namespace {
+
+class UllmannEngine : public SubgraphEngine {
+ public:
+  explicit UllmannEngine(const Graph& data) : data_(data) {}
+
+  std::string_view name() const override { return "Ullmann"; }
+
+  MatchResult Run(const Graph& query, const MatchLimits& limits) override {
+    auto start = std::chrono::steady_clock::now();
+    MatchResult result;
+    Deadline deadline(limits.time_limit_seconds);
+    const uint32_t n = query.NumVertices();
+
+    // Candidate lists in input order: label + degree filtered.
+    std::vector<std::vector<VertexId>> candidates(n);
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : data_.VerticesWithLabel(query.label(u))) {
+        if (data_.degree(v) >= query.StructuralDegree(u)) {
+          candidates[u].push_back(v);
+        }
+      }
+    }
+
+    // Backward edges: for step u, query neighbors with smaller input index.
+    std::vector<std::vector<VertexId>> backward(n);
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId w : query.Neighbors(u)) {
+        if (w < u) backward[u].push_back(w);
+      }
+    }
+
+    Embedding mapping(n, kInvalidVertex);
+    std::vector<uint32_t> used(data_.NumVertices(), 0);
+    std::vector<uint32_t> cursor(n, 0);
+
+    auto unbind = [&](uint32_t d) {
+      --used[mapping[d]];
+      mapping[d] = kInvalidVertex;
+    };
+
+    uint32_t depth = 0;
+    cursor[0] = 0;
+    bool exhausted = false;
+    while (!exhausted) {
+      if (deadline.ExpiredCoarse()) {
+        result.timed_out = true;
+        break;
+      }
+      bool bound = false;
+      while (cursor[depth] < candidates[depth].size()) {
+        VertexId v = candidates[depth][cursor[depth]++];
+        if (used[v] >= data_.multiplicity(v)) continue;
+        bool ok = true;
+        for (VertexId w : backward[depth]) {
+          if (!data_.HasEdge(mapping[w], v)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        mapping[depth] = v;
+        ++used[v];
+        bound = true;
+        break;
+      }
+      if (!bound) {
+        if (depth == 0) break;
+        --depth;
+        unbind(depth);
+        continue;
+      }
+      if (depth + 1 == n) {
+        result.embeddings = SaturatingAdd(
+            result.embeddings, ExpansionFactor(data_, mapping));
+        unbind(depth);
+        if (result.embeddings >= limits.max_embeddings) {
+          result.reached_limit = true;
+          break;
+        }
+        continue;
+      }
+      ++depth;
+      cursor[depth] = 0;
+    }
+
+    result.enumerate_seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+    result.total_seconds = result.enumerate_seconds;
+    return result;
+  }
+
+ private:
+  const Graph& data_;
+};
+
+}  // namespace
+
+std::unique_ptr<SubgraphEngine> MakeUllmann(const Graph& data) {
+  return std::make_unique<UllmannEngine>(data);
+}
+
+}  // namespace cfl

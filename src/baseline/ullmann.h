@@ -1,0 +1,24 @@
+// Ullmann's algorithm (J. ACM 1976; paper [19]).
+//
+// The original backtracking formulation: query vertices are matched in
+// their *input order* (no connectivity requirement), each against the full
+// label/degree-filtered candidate list, validating every query edge whose
+// endpoints are both matched. Included as the historical baseline that the
+// connected-order algorithms (VF2/QuickSI) improve on; it demonstrates the
+// Cartesian-product blowups the paper's framework eliminates.
+
+#ifndef CFL_BASELINE_ULLMANN_H_
+#define CFL_BASELINE_ULLMANN_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "match/engine.h"
+
+namespace cfl {
+
+std::unique_ptr<SubgraphEngine> MakeUllmann(const Graph& data);
+
+}  // namespace cfl
+
+#endif  // CFL_BASELINE_ULLMANN_H_

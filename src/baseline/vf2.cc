@@ -1,0 +1,146 @@
+#include "baseline/vf2.h"
+
+#include <chrono>
+#include <vector>
+
+#include "match/embedding.h"
+
+namespace cfl {
+
+namespace {
+
+class Vf2Engine : public SubgraphEngine {
+ public:
+  explicit Vf2Engine(const Graph& data) : data_(data) {}
+
+  std::string_view name() const override { return "VF2"; }
+
+  MatchResult Run(const Graph& query, const MatchLimits& limits) override {
+    auto start = std::chrono::steady_clock::now();
+    MatchResult result;
+    Deadline deadline(limits.time_limit_seconds);
+    const uint32_t n = query.NumVertices();
+
+    // Connected exploration order (BFS from vertex 0) with spanning parents
+    // — VF2 grows the mapping only through the terminal set.
+    std::vector<VertexId> order;
+    std::vector<VertexId> parent(n, kInvalidVertex);
+    {
+      std::vector<bool> seen(n, false);
+      order.push_back(0);
+      seen[0] = true;
+      for (uint32_t head = 0; head < order.size(); ++head) {
+        for (VertexId w : query.Neighbors(order[head])) {
+          if (!seen[w]) {
+            seen[w] = true;
+            parent[w] = order[head];
+            order.push_back(w);
+          }
+        }
+      }
+    }
+    // Backward consistency edges and per-depth unmatched-neighbor counts
+    // (the 1-lookahead bound).
+    std::vector<std::vector<VertexId>> backward(n);
+    std::vector<uint32_t> unmatched_neighbors(n, 0);
+    {
+      std::vector<uint32_t> pos(n, 0);
+      for (uint32_t i = 0; i < n; ++i) pos[order[i]] = i;
+      for (uint32_t i = 0; i < n; ++i) {
+        VertexId u = order[i];
+        for (VertexId w : query.Neighbors(u)) {
+          if (pos[w] < i && w != parent[u]) backward[i].push_back(w);
+          if (pos[w] > i) ++unmatched_neighbors[i];
+        }
+      }
+    }
+
+    Embedding mapping(n, kInvalidVertex);
+    std::vector<uint32_t> used(data_.NumVertices(), 0);
+    std::vector<uint32_t> cursor(n, 0);
+    std::span<const VertexId> roots =
+        data_.VerticesWithLabel(query.label(order[0]));
+
+    // 1-lookahead: v must still offer enough free adjacent capacity for u's
+    // not-yet-matched neighbors.
+    auto lookahead_ok = [&](uint32_t depth, VertexId v) {
+      uint64_t free_capacity = 0;
+      const uint64_t needed = unmatched_neighbors[depth];
+      for (VertexId w : data_.Neighbors(v)) {
+        uint32_t cap = data_.multiplicity(w);
+        free_capacity += (used[w] < cap) ? cap - used[w] : 0;
+        if (free_capacity >= needed) return true;
+      }
+      return free_capacity >= needed;
+    };
+
+    auto unbind = [&](uint32_t d) {
+      --used[mapping[order[d]]];
+      mapping[order[d]] = kInvalidVertex;
+    };
+
+    uint32_t depth = 0;
+    while (true) {
+      if (deadline.ExpiredCoarse()) {
+        result.timed_out = true;
+        break;
+      }
+      VertexId u = order[depth];
+      std::span<const VertexId> source =
+          depth == 0 ? roots : data_.Neighbors(mapping[parent[u]]);
+      bool bound = false;
+      while (cursor[depth] < source.size()) {
+        VertexId v = source[cursor[depth]++];
+        if (data_.label(v) != query.label(u)) continue;
+        if (used[v] >= data_.multiplicity(v)) continue;
+        bool ok = true;
+        for (VertexId w : backward[depth]) {
+          if (!data_.HasEdge(mapping[w], v)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok || !lookahead_ok(depth, v)) continue;
+        mapping[u] = v;
+        ++used[v];
+        bound = true;
+        break;
+      }
+      if (!bound) {
+        if (depth == 0) break;
+        --depth;
+        unbind(depth);
+        continue;
+      }
+      if (depth + 1 == n) {
+        result.embeddings = SaturatingAdd(result.embeddings,
+                                          ExpansionFactor(data_, mapping));
+        unbind(depth);
+        if (result.embeddings >= limits.max_embeddings) {
+          result.reached_limit = true;
+          break;
+        }
+        continue;
+      }
+      ++depth;
+      cursor[depth] = 0;
+    }
+
+    result.total_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    result.enumerate_seconds = result.total_seconds;
+    return result;
+  }
+
+ private:
+  const Graph& data_;
+};
+
+}  // namespace
+
+std::unique_ptr<SubgraphEngine> MakeVf2(const Graph& data) {
+  return std::make_unique<Vf2Engine>(data);
+}
+
+}  // namespace cfl

@@ -1,0 +1,25 @@
+// VF2 (Cordella, Foggia, Sansone, Vento — TPAMI 2004; paper [4]).
+//
+// The classic connected-order baseline: the partial mapping grows only
+// through vertices adjacent to it (the "terminal sets"), and each candidate
+// pair is validated by consistency plus one-step lookahead — the number of
+// terminal/unexplored neighbors of the query vertex must not exceed those of
+// the data vertex. VF2 predates the ordering and indexing ideas that
+// QuickSI/TurboISO/CFL-Match add; it is included to ground the evaluation's
+// baseline end.
+
+#ifndef CFL_BASELINE_VF2_H_
+#define CFL_BASELINE_VF2_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "match/engine.h"
+
+namespace cfl {
+
+std::unique_ptr<SubgraphEngine> MakeVf2(const Graph& data);
+
+}  // namespace cfl
+
+#endif  // CFL_BASELINE_VF2_H_

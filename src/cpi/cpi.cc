@@ -1,0 +1,26 @@
+#include "cpi/cpi.h"
+
+namespace cfl {
+
+uint64_t Cpi::SizeInEntries() const {
+  uint64_t entries = 0;
+  for (const std::vector<VertexId>& c : candidates_) entries += c.size();
+  for (const std::vector<uint32_t>& a : adj_) entries += a.size();
+  return entries;
+}
+
+uint64_t Cpi::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const std::vector<VertexId>& c : candidates_) {
+    bytes += c.capacity() * sizeof(VertexId);
+  }
+  for (const std::vector<uint32_t>& o : adj_offsets_) {
+    bytes += o.capacity() * sizeof(uint32_t);
+  }
+  for (const std::vector<uint32_t>& a : adj_) {
+    bytes += a.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace cfl

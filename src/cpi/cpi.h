@@ -1,0 +1,82 @@
+// Compact Path Index (paper Section 4.1 and A.2).
+//
+// The CPI mirrors the query's BFS tree q_T. Each query vertex u carries a
+// candidate set u.C (data vertices u may map to); for each tree edge
+// (u.p, u) it stores, per candidate of the parent, the adjacency list
+// N_u^{u.p}(v) — which candidates of u are adjacent to v in the data graph.
+//
+// Storage follows the paper's A.2 exactly: adjacency lists hold *positions*
+// (offsets) into the child's candidate array rather than raw vertex ids, so
+// enumeration walks the index without any hashing, and a matched vertex's
+// own adjacency lists are locatable by its position.
+//
+// Size is O(|E(G)| x |V(q)|) by construction (each tree edge's lists are a
+// subset of E(G)); `SizeInEntries` / `MemoryBytes` let the scalability
+// experiment (paper Figure 16(d)) report it.
+
+#ifndef CFL_CPI_CPI_H_
+#define CFL_CPI_CPI_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "decomp/bfs_tree.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+class Cpi {
+ public:
+  Cpi() = default;
+
+  // The BFS tree this CPI is defined over.
+  const BfsTree& tree() const { return tree_; }
+
+  // u.C: candidate data vertices of query vertex u, ascending.
+  const std::vector<VertexId>& Candidates(VertexId u) const {
+    return candidates_[u];
+  }
+
+  // Data vertex at `pos` within u.C.
+  VertexId CandidateAt(VertexId u, uint32_t pos) const {
+    return candidates_[u][pos];
+  }
+
+  // N_u^{u.p}(v) where v is the parent candidate at `parent_pos` in u.p's
+  // candidate array: positions into u.C of the candidates adjacent to v.
+  // Only valid for non-root u.
+  std::span<const uint32_t> AdjacentPositions(VertexId u,
+                                              uint32_t parent_pos) const {
+    const std::vector<uint32_t>& off = adj_offsets_[u];
+    return {adj_[u].data() + off[parent_pos],
+            adj_[u].data() + off[parent_pos + 1]};
+  }
+
+  // True iff some query vertex has an empty candidate set, in which case the
+  // query has no embeddings at all.
+  bool HasEmptyCandidateSet() const {
+    for (const std::vector<VertexId>& c : candidates_) {
+      if (c.empty()) return true;
+    }
+    return false;
+  }
+
+  // Total number of candidate entries plus adjacency entries — the paper's
+  // "index size" metric (Figure 16(d)).
+  uint64_t SizeInEntries() const;
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  friend class CpiBuilder;
+
+  BfsTree tree_;
+  std::vector<std::vector<VertexId>> candidates_;   // per query vertex
+  std::vector<std::vector<uint32_t>> adj_offsets_;  // per non-root u
+  std::vector<std::vector<uint32_t>> adj_;          // positions into u.C
+};
+
+}  // namespace cfl
+
+#endif  // CFL_CPI_CPI_H_

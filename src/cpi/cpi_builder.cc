@@ -1,0 +1,184 @@
+#include "cpi/cpi_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cpi/candidate_filter.h"
+
+namespace cfl {
+
+CpiBuilder::CpiBuilder(const Graph& data)
+    : data_(data),
+      cnt_(data.NumVertices(), 0),
+      pos_(data.NumVertices(), 0) {}
+
+void CpiBuilder::GenerateCandidates(const Graph& q, VertexId u,
+                                    const std::vector<VertexId>& against) {
+  assert(!against.empty());  // BFS guarantees a visited parent
+  // Counting intersection (Algorithm 3 lines 6-14 / Lemma 5.1): after round
+  // k, cnt_[v] == k+1 iff v has a neighbor in cand_[u'] for each of the
+  // first k+1 query vertices u' processed.
+  uint32_t round = 0;
+  for (VertexId uprime : against) {
+    for (VertexId vprime : cand_[uprime]) {
+      for (VertexId v : data_.Neighbors(vprime)) {
+        if (cnt_[v] != round) continue;
+        if (!LabelDegreeFilter(q, u, data_, v)) continue;
+        if (round == 0) touched_.push_back(v);
+        cnt_[v] = round + 1;
+      }
+    }
+    ++round;
+  }
+  std::vector<VertexId>& out = cand_[u];
+  out.clear();
+  for (VertexId v : touched_) {
+    if (cnt_[v] == round && CandVerify(q, u, data_, v)) out.push_back(v);
+    cnt_[v] = 0;
+  }
+  touched_.clear();
+  std::sort(out.begin(), out.end());
+}
+
+void CpiBuilder::RefineCandidates(VertexId u,
+                                  const std::vector<VertexId>& against) {
+  if (against.empty() || cand_[u].empty()) return;
+  uint32_t round = 0;
+  for (VertexId uprime : against) {
+    for (VertexId vprime : cand_[uprime]) {
+      for (VertexId v : data_.Neighbors(vprime)) {
+        if (cnt_[v] != round) continue;
+        if (round == 0) touched_.push_back(v);
+        cnt_[v] = round + 1;
+      }
+    }
+    ++round;
+  }
+  // Keep only candidates that survived every round (Algorithm 3 lines 21-22
+  // / Algorithm 4 lines 5-6).
+  std::vector<VertexId>& c = cand_[u];
+  c.erase(std::remove_if(c.begin(), c.end(),
+                         [this, round](VertexId v) { return cnt_[v] != round; }),
+          c.end());
+  for (VertexId v : touched_) cnt_[v] = 0;
+  touched_.clear();
+}
+
+void CpiBuilder::TopDownConstruct(const Graph& q, const BfsTree& tree) {
+  const uint32_t n = q.NumVertices();
+  std::vector<bool> visited(n, false);
+
+  // Root candidates: label + degree + CandVerify (Algorithm 3 lines 1-2).
+  const VertexId r = tree.root;
+  for (VertexId v : data_.VerticesWithLabel(q.label(r))) {
+    if (data_.degree(v) >= q.StructuralDegree(r) && CandVerify(q, r, data_, v)) {
+      cand_[r].push_back(v);
+    }
+  }
+  visited[r] = true;
+
+  std::vector<std::vector<VertexId>> unvisited_same_level(n);
+  for (uint32_t lev = 1; lev < tree.NumLevels(); ++lev) {
+    const std::vector<VertexId>& level = tree.levels[lev];
+
+    // Forward candidate generation (lines 5-17).
+    for (VertexId u : level) {
+      std::vector<VertexId> vis;  // u.N: visited query neighbors
+      for (VertexId uprime : q.Neighbors(u)) {
+        if (visited[uprime]) {
+          vis.push_back(uprime);
+        } else if (tree.level[uprime] == tree.level[u]) {
+          // S-NTE to a not-yet-visited same-level vertex; recorded for the
+          // backward pass (u.UN).
+          unvisited_same_level[u].push_back(uprime);
+        }
+      }
+      GenerateCandidates(q, u, vis);
+      visited[u] = true;
+    }
+
+    // Backward candidate pruning (lines 18-23), reverse order within level.
+    for (auto it = level.rbegin(); it != level.rend(); ++it) {
+      RefineCandidates(*it, unvisited_same_level[*it]);
+    }
+  }
+}
+
+void CpiBuilder::BottomUpRefine(const Graph& q, const BfsTree& tree) {
+  // Process query vertices bottom-up; at each u, prune u.C against the
+  // (already-refined) candidate sets of u's lower-level neighbors — tree
+  // children and downward C-NTEs alike (Algorithm 4).
+  for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
+    VertexId u = *it;
+    std::vector<VertexId> lower;
+    for (VertexId uprime : q.Neighbors(u)) {
+      if (tree.level[uprime] == tree.level[u] + 1) lower.push_back(uprime);
+    }
+    RefineCandidates(u, lower);
+  }
+}
+
+void CpiBuilder::BuildAdjacency(const BfsTree& tree, Cpi* cpi) {
+  const uint32_t n = static_cast<uint32_t>(cand_.size());
+  cpi->adj_offsets_.assign(n, {});
+  cpi->adj_.assign(n, {});
+
+  for (VertexId u : tree.order) {
+    if (u == tree.root) continue;
+    const VertexId p = tree.parent[u];
+    const std::vector<VertexId>& child_cands = cand_[u];
+    const std::vector<VertexId>& parent_cands = cand_[p];
+
+    // Mark child candidates with their position + 1.
+    for (uint32_t i = 0; i < child_cands.size(); ++i) {
+      pos_[child_cands[i]] = i + 1;
+    }
+
+    std::vector<uint32_t>& offsets = cpi->adj_offsets_[u];
+    std::vector<uint32_t>& adj = cpi->adj_[u];
+    offsets.reserve(parent_cands.size() + 1);
+    offsets.push_back(0);
+    for (VertexId vp : parent_cands) {
+      // Data adjacency is sorted and candidate positions are id-monotone,
+      // so each N_u^{p}(vp) block comes out sorted by position.
+      for (VertexId v : data_.Neighbors(vp)) {
+        if (pos_[v] != 0) adj.push_back(pos_[v] - 1);
+      }
+      offsets.push_back(static_cast<uint32_t>(adj.size()));
+    }
+
+    for (VertexId v : child_cands) pos_[v] = 0;
+  }
+}
+
+Cpi CpiBuilder::Build(const Graph& q, const BfsTree& tree,
+                      CpiStrategy strategy) {
+  const uint32_t n = q.NumVertices();
+  cand_.assign(n, {});
+
+  if (strategy == CpiStrategy::kNaive) {
+    // Section 4.1's naive sound CPI: candidates by label only.
+    for (VertexId u = 0; u < n; ++u) {
+      std::span<const VertexId> vs = data_.VerticesWithLabel(q.label(u));
+      cand_[u].assign(vs.begin(), vs.end());
+    }
+  } else {
+    TopDownConstruct(q, tree);
+    if (strategy == CpiStrategy::kRefined) BottomUpRefine(q, tree);
+  }
+
+  Cpi cpi;
+  cpi.tree_ = tree;
+  BuildAdjacency(tree, &cpi);
+  cpi.candidates_ = std::move(cand_);
+  cand_.clear();
+  return cpi;
+}
+
+Cpi BuildCpi(const Graph& q, const Graph& data, const BfsTree& tree,
+             CpiStrategy strategy) {
+  CpiBuilder builder(data);
+  return builder.Build(q, tree, strategy);
+}
+
+}  // namespace cfl

@@ -1,0 +1,88 @@
+// CPI construction (paper Section 5).
+//
+// Building a *minimum* sound CPI is NP-hard (Lemma 4.1), so the paper builds
+// a small sound CPI heuristically in two phases, both O(|E(G)| x |E(q)|):
+//
+//   * Top-down construction (Algorithm 3): per BFS level, forward candidate
+//     generation (intersecting neighbor sets of already-visited query
+//     neighbors via the counting trick of Lemma 5.1, then CandVerify),
+//     followed by backward pruning within the level using same-level
+//     non-tree edges (S-NTEs) in the reverse direction.
+//   * Bottom-up refinement (Algorithm 4): prune each u.C against the final
+//     candidate sets of u's lower-level neighbors (tree children and
+//     cross-level non-tree edges pointing down).
+//
+// Together the two phases exploit both directions of every query edge
+// (paper Table 2).
+//
+// Deviation (documented in DESIGN.md): the paper interleaves adjacency-list
+// construction with Algorithm 3 and prunes the lists in Algorithm 4; we
+// build the lists once from the final candidate sets, producing an
+// identical CPI with the same complexity.
+//
+// Strategies (paper Section 6 variants):
+//   kNaive   — u.C = all data vertices with u's label (CFL-Match-Naive)
+//   kTopDown — Algorithm 3 only (CFL-Match-TD)
+//   kRefined — Algorithms 3 + 4 (CFL-Match; the default)
+
+#ifndef CFL_CPI_CPI_BUILDER_H_
+#define CFL_CPI_CPI_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cpi/cpi.h"
+#include "decomp/bfs_tree.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+enum class CpiStrategy {
+  kNaive,
+  kTopDown,
+  kRefined,
+};
+
+// Reusable builder: scratch arrays are sized to the data graph once and
+// reused across queries (CFL-Match processes query sets of 100).
+class CpiBuilder {
+ public:
+  explicit CpiBuilder(const Graph& data);
+
+  CpiBuilder(const CpiBuilder&) = delete;
+  CpiBuilder& operator=(const CpiBuilder&) = delete;
+
+  // Builds the CPI of `q` over the data graph regarding BFS tree `tree`.
+  Cpi Build(const Graph& q, const BfsTree& tree,
+            CpiStrategy strategy = CpiStrategy::kRefined);
+
+ private:
+  // Candidate-set generation passes; all operate on cand_ (per query vertex).
+  void TopDownConstruct(const Graph& q, const BfsTree& tree);
+  void BottomUpRefine(const Graph& q, const BfsTree& tree);
+
+  // Intersection-counting primitive (Lemma 5.1): filters the data vertices
+  // that have a neighbor in cand_[u'] for every u' in `against`, optionally
+  // seeding from scratch (generate) or filtering an existing set (refine).
+  void GenerateCandidates(const Graph& q, VertexId u,
+                          const std::vector<VertexId>& against);
+  void RefineCandidates(VertexId u, const std::vector<VertexId>& against);
+
+  void BuildAdjacency(const BfsTree& tree, Cpi* cpi);
+
+  const Graph& data_;
+  std::vector<std::vector<VertexId>> cand_;
+
+  // Scratch, |V(G)|-sized, reset via touched lists after each use.
+  std::vector<uint32_t> cnt_;
+  std::vector<VertexId> touched_;
+  std::vector<uint32_t> pos_;  // candidate position + 1; 0 = not a candidate
+};
+
+// One-shot convenience wrapper.
+Cpi BuildCpi(const Graph& q, const Graph& data, const BfsTree& tree,
+             CpiStrategy strategy = CpiStrategy::kRefined);
+
+}  // namespace cfl
+
+#endif  // CFL_CPI_CPI_BUILDER_H_

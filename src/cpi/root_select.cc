@@ -1,0 +1,52 @@
+#include "cpi/root_select.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cfl {
+
+VertexId SelectRoot(const Graph& q, const Graph& data,
+                    const LabelDegreeIndex& index,
+                    const std::vector<VertexId>& choices) {
+  assert(!choices.empty());
+
+  // Light-weight pass: rank by (#label+degree candidates) / degree.
+  struct Scored {
+    VertexId u;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(choices.size());
+  for (VertexId u : choices) {
+    uint64_t cands = index.CountAtLeast(q.label(u), q.StructuralDegree(u));
+    double degree = std::max<uint32_t>(1, q.StructuralDegree(u));
+    scored.push_back({u, static_cast<double>(cands) / degree});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.score < b.score || (a.score == b.score && a.u < b.u);
+  });
+  size_t shortlist = std::min<size_t>(3, scored.size());
+
+  // Accurate pass over the top-3: count candidates surviving CandVerify.
+  VertexId best = scored[0].u;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < shortlist; ++i) {
+    VertexId u = scored[i].u;
+    uint64_t cands = 0;
+    for (VertexId v : data.VerticesWithLabel(q.label(u))) {
+      if (data.degree(v) >= q.StructuralDegree(u) && CandVerify(q, u, data, v)) {
+        ++cands;
+      }
+    }
+    double degree = std::max<uint32_t>(1, q.StructuralDegree(u));
+    double score = static_cast<double>(cands) / degree;
+    if (score < best_score) {
+      best_score = score;
+      best = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace cfl

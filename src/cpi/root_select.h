@@ -1,0 +1,29 @@
+// Root vertex selection for the query BFS tree (paper Section A.6).
+//
+// The root must come from the core-set (it is the first vertex matched).
+// The paper picks r = argmin |C(u)| / d_q(u): few candidates means few
+// partial embeddings; high degree means early pruning. To keep selection
+// cheap, candidate counts are first estimated with the label+degree filter
+// only; the top-3 vertices by that estimate are then re-scored with the full
+// CandVerify filter, and the best of the three wins.
+
+#ifndef CFL_CPI_ROOT_SELECT_H_
+#define CFL_CPI_ROOT_SELECT_H_
+
+#include <vector>
+
+#include "cpi/candidate_filter.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+// Selects the BFS-tree root among `choices` (normally the core-set of q; or
+// all of V(q) when q is a tree and the core degenerates to the root itself).
+// `choices` must be non-empty. `index` is the data graph's LabelDegreeIndex.
+VertexId SelectRoot(const Graph& q, const Graph& data,
+                    const LabelDegreeIndex& index,
+                    const std::vector<VertexId>& choices);
+
+}  // namespace cfl
+
+#endif  // CFL_CPI_ROOT_SELECT_H_

@@ -1,0 +1,67 @@
+#include "decomp/bfs_tree.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cfl {
+
+BfsTree BuildBfsTree(const Graph& q, VertexId root) {
+  const uint32_t n = q.NumVertices();
+  if (root >= n) throw std::invalid_argument("BuildBfsTree: bad root");
+
+  BfsTree t;
+  t.root = root;
+  t.parent.assign(n, kInvalidVertex);
+  t.level.assign(n, 0);
+  t.children.assign(n, {});
+  t.non_tree_neighbors.assign(n, {});
+
+  std::vector<bool> seen(n, false);
+  seen[root] = true;
+  t.level[root] = 1;
+  t.order.reserve(n);
+  t.order.push_back(root);
+
+  // Standard queue-based BFS over t.order itself.
+  for (uint32_t head = 0; head < t.order.size(); ++head) {
+    VertexId u = t.order[head];
+    for (VertexId w : q.Neighbors(u)) {
+      if (seen[w]) continue;
+      seen[w] = true;
+      t.parent[w] = u;
+      t.level[w] = t.level[u] + 1;
+      t.children[u].push_back(w);
+      t.order.push_back(w);
+    }
+  }
+  if (t.order.size() != n) {
+    throw std::invalid_argument("BuildBfsTree: query graph is disconnected");
+  }
+
+  uint32_t max_level = 0;
+  for (VertexId v = 0; v < n; ++v) max_level = std::max(max_level, t.level[v]);
+  t.levels.assign(max_level, {});
+  for (VertexId v : t.order) t.levels[t.level[v] - 1].push_back(v);
+
+  // Classify non-tree edges. In a BFS tree, any non-tree edge connects
+  // vertices whose levels differ by at most one.
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b : q.Neighbors(a)) {
+      if (b < a) continue;
+      if (t.parent[a] == b || t.parent[b] == a) continue;
+      NonTreeEdge e;
+      // Orient so u is the shallower (or equal-level) endpoint.
+      e.u = (t.level[a] <= t.level[b]) ? a : b;
+      e.v = (e.u == a) ? b : a;
+      e.same_level = (t.level[a] == t.level[b]);
+      assert(t.level[e.v] - t.level[e.u] <= 1);
+      t.non_tree_edges.push_back(e);
+      t.non_tree_neighbors[a].push_back(b);
+      t.non_tree_neighbors[b].push_back(a);
+    }
+  }
+
+  return t;
+}
+
+}  // namespace cfl

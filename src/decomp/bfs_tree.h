@@ -1,0 +1,63 @@
+// BFS spanning tree of a query graph with non-tree edge classification
+// (paper Sections 4.1 and 5.1).
+//
+// The CPI is defined regarding a BFS tree q_T of q rooted at the selected
+// root vertex. Query edges split into tree edges and non-tree edges; the
+// latter are further classified (Definition 5.1) as same-level (S-NTE) or
+// cross-level (C-NTE), which determines in which construction phase their
+// pruning power is exploited (paper Table 2).
+
+#ifndef CFL_DECOMP_BFS_TREE_H_
+#define CFL_DECOMP_BFS_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfl {
+
+struct NonTreeEdge {
+  VertexId u = kInvalidVertex;  // the endpoint at the lower (or equal) level
+  VertexId v = kInvalidVertex;
+  bool same_level = false;  // true: S-NTE; false: C-NTE
+};
+
+struct BfsTree {
+  VertexId root = kInvalidVertex;
+
+  // Parent in q_T; kInvalidVertex for the root.
+  std::vector<VertexId> parent;
+
+  // BFS level; the paper numbers levels from 1 at the root.
+  std::vector<uint32_t> level;
+
+  // Children in q_T, in ascending vertex order.
+  std::vector<std::vector<VertexId>> children;
+
+  // Vertices grouped by level: levels[0] = {root}, levels[1] = ..., etc.
+  std::vector<std::vector<VertexId>> levels;
+
+  // BFS visitation order (levels concatenated).
+  std::vector<VertexId> order;
+
+  std::vector<NonTreeEdge> non_tree_edges;
+
+  // Per-vertex adjacency restricted to non-tree edges (both directions).
+  std::vector<std::vector<VertexId>> non_tree_neighbors;
+
+  uint32_t NumLevels() const { return static_cast<uint32_t>(levels.size()); }
+
+  bool IsTreeEdge(VertexId a, VertexId b) const {
+    return parent[a] == b || parent[b] == a;
+  }
+};
+
+// Builds the BFS tree of the connected graph `q` rooted at `root`.
+// Neighbor exploration follows ascending vertex ids, so the tree is
+// deterministic.
+BfsTree BuildBfsTree(const Graph& q, VertexId root);
+
+}  // namespace cfl
+
+#endif  // CFL_DECOMP_BFS_TREE_H_

@@ -1,0 +1,67 @@
+#include "decomp/cfl_decomposition.h"
+
+#include "decomp/two_core.h"
+
+namespace cfl {
+
+CflDecomposition DecomposeCfl(const Graph& q, VertexId tree_root) {
+  const uint32_t n = q.NumVertices();
+  CflDecomposition d;
+  d.klass.assign(n, VertexClass::kForest);
+
+  std::vector<bool> in_core = TwoCoreMembership(q);
+  bool core_empty = true;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (in_core[v]) {
+      core_empty = false;
+      break;
+    }
+  }
+  if (core_empty) {
+    // q is a tree: the core degenerates to the chosen root (paper Section 3,
+    // "if q itself is a tree, the core-set is simply the root vertex of q").
+    d.query_is_tree = true;
+    VertexId root = (tree_root == kInvalidVertex) ? 0 : tree_root;
+    in_core.assign(n, false);
+    in_core[root] = true;
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_core[v]) {
+      d.klass[v] = VertexClass::kCore;
+    } else if (q.StructuralDegree(v) == 1) {
+      // Degree-one vertices outside the core are exactly the leaves of the
+      // forest trees rooted at their connection vertices (paper A.5).
+      d.klass[v] = VertexClass::kLeaf;
+    } else {
+      d.klass[v] = VertexClass::kForest;
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    switch (d.klass[v]) {
+      case VertexClass::kCore:
+        d.core.push_back(v);
+        break;
+      case VertexClass::kForest:
+        d.forest.push_back(v);
+        break;
+      case VertexClass::kLeaf:
+        d.leaf.push_back(v);
+        break;
+    }
+  }
+
+  for (VertexId v : d.core) {
+    for (VertexId w : q.Neighbors(v)) {
+      if (d.klass[w] != VertexClass::kCore) {
+        d.connections.push_back(v);
+        break;
+      }
+    }
+  }
+
+  return d;
+}
+
+}  // namespace cfl

@@ -1,0 +1,57 @@
+// Core-Forest-Leaf decomposition of a query graph (paper Section 3).
+//
+// V(q) is partitioned into:
+//   * the core-set V_C: the 2-core of q (Lemma 3.1), or — when q is a tree
+//     and so has an empty 2-core — the single chosen root vertex;
+//   * the leaf-set V_I: degree-one vertices of q outside V_C (the leaves of
+//     the forest trees rooted at their connection vertices, Definition 3.2);
+//   * the forest-set V_T: everything else.
+//
+// The macro matching order is (V_C, V_T, V_I): the dense core prunes early
+// via its non-tree edges; Cartesian products over leaf candidates are
+// postponed to the very end (paper Challenge 1 / "Our Approach").
+//
+// Each connected tree of the forest-structure shares exactly one vertex with
+// the core — its *connection vertex* — which roots it.
+
+#ifndef CFL_DECOMP_CFL_DECOMPOSITION_H_
+#define CFL_DECOMP_CFL_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfl {
+
+enum class VertexClass : uint8_t {
+  kCore,    // in V_C
+  kForest,  // in V_T
+  kLeaf,    // in V_I
+};
+
+struct CflDecomposition {
+  std::vector<VertexClass> klass;  // size |V(q)|
+
+  std::vector<VertexId> core;    // V_C, ascending
+  std::vector<VertexId> forest;  // V_T, ascending
+  std::vector<VertexId> leaf;    // V_I, ascending
+
+  // Connection vertices: core vertices with at least one non-core neighbor,
+  // i.e., the roots of the forest trees. Subset of `core`.
+  std::vector<VertexId> connections;
+
+  bool QueryIsTree() const { return query_is_tree; }
+  bool query_is_tree = false;
+};
+
+// Decomposes `q`. `tree_root` is used only when q is a tree (empty 2-core),
+// in which case that vertex becomes the singleton core-set; it is the root
+// chosen by SelectRoot (cpi/root_select.h). Pass kInvalidVertex to default
+// to vertex 0 in the tree case.
+CflDecomposition DecomposeCfl(const Graph& q,
+                              VertexId tree_root = kInvalidVertex);
+
+}  // namespace cfl
+
+#endif  // CFL_DECOMP_CFL_DECOMPOSITION_H_

@@ -1,0 +1,39 @@
+#include "decomp/forest_is.h"
+
+#include <algorithm>
+
+namespace cfl {
+
+ForestIsResult ComputeForestIs(const Graph& q,
+                               const CflDecomposition& decomposition) {
+  ForestIsResult result;
+  const uint32_t n = q.NumVertices();
+
+  // Forest vertices (outside the core). A forest vertex with degree >= 2 in
+  // q must be in the cover (it has a child edge and a parent edge, at least
+  // one of which another cover vertex cannot absorb on a tree); degree-one
+  // vertices form the independent set. Connection vertices sit in the core
+  // and anchor the cover's connectivity; they are not re-listed here.
+  for (VertexId v = 0; v < n; ++v) {
+    if (decomposition.klass[v] == VertexClass::kCore) continue;
+    if (q.StructuralDegree(v) >= 2) {
+      result.cover.push_back(v);
+    } else {
+      result.independent.push_back(v);
+    }
+  }
+  std::sort(result.cover.begin(), result.cover.end());
+  std::sort(result.independent.begin(), result.independent.end());
+  return result;
+}
+
+bool IsIndependentSet(const Graph& q, const std::vector<VertexId>& vertices) {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      if (q.HasEdge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cfl

@@ -1,0 +1,44 @@
+// Forest-IS decomposition (paper Appendix A.5).
+//
+// The leaf-set V_I generalizes to any *independent set* of the
+// forest-structure whose complement keeps q[V_C u V_T] connected. The
+// largest such set is the complement of the Connected Minimum Vertex Cover
+// (cMVC) of each forest tree, constrained to contain the tree's connection
+// vertex. NP-hard in general, cMVC is easy on trees: the paper shows it is
+// exactly {vertices of degree >= 2} u {connection vertex}, making the
+// leaf-set — degree-one vertices minus connection vertices — the maximum
+// independent set obtainable. This module computes the cMVC-based
+// independent set explicitly so that claim is checkable (and checked, in
+// decomp_test).
+
+#ifndef CFL_DECOMP_FOREST_IS_H_
+#define CFL_DECOMP_FOREST_IS_H_
+
+#include <vector>
+
+#include "decomp/cfl_decomposition.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+struct ForestIsResult {
+  // The connected minimum vertex cover of the forest-structure: vertices
+  // that must be matched before the independent set (the paper's V_T plus
+  // the connection vertices).
+  std::vector<VertexId> cover;
+
+  // The complementary independent set (the generalized "leaf" stage).
+  std::vector<VertexId> independent;
+};
+
+// Computes the cMVC-based forest-IS decomposition of q's forest-structure.
+// `decomposition` must come from DecomposeCfl(q, ...).
+ForestIsResult ComputeForestIs(const Graph& q,
+                               const CflDecomposition& decomposition);
+
+// True iff `vertices` is an independent set of q (no edge between any two).
+bool IsIndependentSet(const Graph& q, const std::vector<VertexId>& vertices);
+
+}  // namespace cfl
+
+#endif  // CFL_DECOMP_FOREST_IS_H_

@@ -1,0 +1,76 @@
+#include "decomp/k_core.h"
+
+#include <algorithm>
+
+namespace cfl {
+
+std::vector<uint32_t> CoreNumbers(const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> degree(n), core(n, 0);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.StructuralDegree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by current degree (the O(m) peeling of [1]).
+  std::vector<uint32_t> bucket_start(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) bucket_start[degree[v] + 1]++;
+  for (uint32_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<VertexId> sorted(n);       // vertices in degree order
+  std::vector<uint32_t> position(n);     // index of v in `sorted`
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      sorted[position[v]] = v;
+      cursor[degree[v]]++;
+    }
+  }
+
+  for (uint32_t i = 0; i < n; ++i) {
+    VertexId v = sorted[i];
+    core[v] = degree[v];
+    for (VertexId w : g.Neighbors(v)) {
+      if (degree[w] <= degree[v]) continue;
+      // Move w to the front of its bucket, then shrink its degree.
+      uint32_t dw = degree[w];
+      uint32_t pw = position[w];
+      uint32_t front = bucket_start[dw];
+      VertexId other = sorted[front];
+      if (other != w) {
+        std::swap(sorted[front], sorted[pw]);
+        position[w] = front;
+        position[other] = pw;
+      }
+      bucket_start[dw]++;
+      degree[w]--;
+    }
+  }
+  return core;
+}
+
+std::vector<VertexId> CoreHierarchy::KCore(uint32_t k) const {
+  std::vector<VertexId> vertices;
+  for (uint32_t shell = k; shell < shells.size(); ++shell) {
+    vertices.insert(vertices.end(), shells[shell].begin(), shells[shell].end());
+  }
+  std::sort(vertices.begin(), vertices.end());
+  return vertices;
+}
+
+CoreHierarchy ComputeCoreHierarchy(const Graph& g) {
+  CoreHierarchy h;
+  h.core_number = CoreNumbers(g);
+  for (uint32_t c : h.core_number) h.degeneracy = std::max(h.degeneracy, c);
+  h.shells.assign(h.degeneracy + 1, {});
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    h.shells[h.core_number[v]].push_back(v);
+  }
+  return h;
+}
+
+}  // namespace cfl

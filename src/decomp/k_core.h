@@ -1,0 +1,38 @@
+// k-core decomposition (Batagelj & Zaversnik [1]).
+//
+// The paper's conclusion sketches, as future work, extending the
+// core-forest-leaf decomposition into a *hierarchical* decomposition of the
+// core-structure — k-core, (k-1)-core, ... . This module supplies that
+// substrate: core numbers for every vertex in O(|E|) by bucket peeling, and
+// the nested shell structure. `decomposition_explorer` and the ordering
+// ablation use it to study matching orders that process denser shells first.
+
+#ifndef CFL_DECOMP_K_CORE_H_
+#define CFL_DECOMP_K_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfl {
+
+// core[v] = largest k such that v belongs to the k-core of g.
+std::vector<uint32_t> CoreNumbers(const Graph& g);
+
+struct CoreHierarchy {
+  std::vector<uint32_t> core_number;  // per vertex
+  uint32_t degeneracy = 0;            // max core number
+
+  // shells[k] = vertices with core number exactly k (size degeneracy+1).
+  std::vector<std::vector<VertexId>> shells;
+
+  // Vertices of the k-core, i.e., core number >= k.
+  std::vector<VertexId> KCore(uint32_t k) const;
+};
+
+CoreHierarchy ComputeCoreHierarchy(const Graph& g);
+
+}  // namespace cfl
+
+#endif  // CFL_DECOMP_K_CORE_H_

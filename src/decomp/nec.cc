@@ -1,0 +1,37 @@
+#include "decomp/nec.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace cfl {
+
+std::vector<std::vector<VertexId>> ComputeNecClasses(const Graph& g) {
+  // Key each vertex by (label, neighbor list); CSR adjacency is sorted, so
+  // the span contents are directly comparable.
+  std::map<std::pair<Label, std::vector<VertexId>>, std::vector<VertexId>>
+      groups;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::span<const VertexId> adj = g.Neighbors(v);
+    std::vector<VertexId> key(adj.begin(), adj.end());
+    groups[{g.label(v), std::move(key)}].push_back(v);
+  }
+  std::vector<std::vector<VertexId>> classes;
+  classes.reserve(groups.size());
+  for (auto& [key, members] : groups) classes.push_back(std::move(members));
+  std::sort(classes.begin(), classes.end(),
+            [](const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+              return a.front() < b.front();
+            });
+  return classes;
+}
+
+uint32_t NecReducedVertices(const Graph& g) {
+  uint32_t reduced = 0;
+  for (const std::vector<VertexId>& c : ComputeNecClasses(g)) {
+    reduced += static_cast<uint32_t>(c.size()) - 1;
+  }
+  return reduced;
+}
+
+}  // namespace cfl

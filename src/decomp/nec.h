@@ -1,0 +1,30 @@
+// Neighborhood Equivalence Classes (NEC).
+//
+// Two query vertices are NEC-equivalent ("similar", in the paper's words)
+// if they have the same label and exactly the same neighborhoods. TurboISO
+// merges such vertices to avoid enumerating redundant permutations; paper
+// Section 4.4 uses NEC over leaf vertices (where equivalence degenerates to
+// equal (label, parent) pairs since leaves have degree one); Table 4 reports
+// how little NEC can compress query core-structures.
+
+#ifndef CFL_DECOMP_NEC_H_
+#define CFL_DECOMP_NEC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfl {
+
+// Partition of V(g) into NEC classes (same label, identical neighbor sets;
+// i.e., non-adjacent twins). Singleton classes are included. Classes and
+// their members are in ascending vertex order.
+std::vector<std::vector<VertexId>> ComputeNecClasses(const Graph& g);
+
+// Number of vertices NEC merging removes: sum over classes of (size - 1).
+// This is the paper's Table 4 "Avg reduced vertices" numerator.
+uint32_t NecReducedVertices(const Graph& g);
+
+}  // namespace cfl
+
+#endif  // CFL_DECOMP_NEC_H_

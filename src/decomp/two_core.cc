@@ -1,0 +1,40 @@
+#include "decomp/two_core.h"
+
+#include <vector>
+
+namespace cfl {
+
+std::vector<bool> TwoCoreMembership(const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> degree(n);
+  std::vector<VertexId> stack;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.StructuralDegree(v);
+    if (degree[v] <= 1) stack.push_back(v);
+  }
+  std::vector<bool> removed(n, false);
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    if (removed[v]) continue;
+    removed[v] = true;
+    for (VertexId w : g.Neighbors(v)) {
+      if (removed[w]) continue;
+      if (--degree[w] == 1) stack.push_back(w);
+    }
+  }
+  std::vector<bool> in_core(n);
+  for (VertexId v = 0; v < n; ++v) in_core[v] = !removed[v];
+  return in_core;
+}
+
+std::vector<VertexId> TwoCoreVertices(const Graph& g) {
+  std::vector<bool> in_core = TwoCoreMembership(g);
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (in_core[v]) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+}  // namespace cfl

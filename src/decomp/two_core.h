@@ -1,0 +1,27 @@
+// 2-core computation (paper Lemma 3.1).
+//
+// The core-structure of a query q — the minimal connected subgraph
+// containing all non-tree edges regarding any spanning tree — is exactly
+// the 2-core of q: the maximal subgraph in which every vertex has at least
+// two neighbors. It is computed by iteratively peeling degree-one vertices,
+// in O(|E(q)|) time (Batagelj & Zaversnik).
+
+#ifndef CFL_DECOMP_TWO_CORE_H_
+#define CFL_DECOMP_TWO_CORE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfl {
+
+// Per-vertex membership flags of the 2-core of `g`. All-false iff `g` is a
+// forest.
+std::vector<bool> TwoCoreMembership(const Graph& g);
+
+// The vertex ids of the 2-core, ascending. Empty iff `g` is a forest.
+std::vector<VertexId> TwoCoreVertices(const Graph& g);
+
+}  // namespace cfl
+
+#endif  // CFL_DECOMP_TWO_CORE_H_

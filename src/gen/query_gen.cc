@@ -1,0 +1,157 @@
+#include "gen/query_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "gen/rng.h"
+#include "graph/graph_builder.h"
+
+namespace cfl {
+
+namespace {
+
+struct WalkResult {
+  std::vector<VertexId> vertices;                       // data-vertex ids
+  std::vector<std::pair<uint32_t, uint32_t>> tree;      // local-id walk tree
+  std::vector<std::pair<uint32_t, uint32_t>> induced;   // all induced edges
+};
+
+// Collects `k` distinct vertices by random walk; returns false if the walk
+// got stuck (e.g., started in a tiny component).
+bool RandomWalk(const Graph& data, uint32_t k, Rng& rng, WalkResult* out) {
+  const uint32_t n = data.NumVertices();
+  out->vertices.clear();
+  out->tree.clear();
+  out->induced.clear();
+
+  VertexId start = static_cast<VertexId>(rng.Below(n));
+  if (data.StructuralDegree(start) == 0) return false;
+
+  std::unordered_map<VertexId, uint32_t> local;  // data id -> local id
+  local.reserve(k * 2);
+  local.emplace(start, 0);
+  out->vertices.push_back(start);
+
+  VertexId cur = start;
+  uint64_t budget = static_cast<uint64_t>(k) * 400 + 1000;
+  while (out->vertices.size() < k && budget-- > 0) {
+    std::span<const VertexId> adj = data.Neighbors(cur);
+    VertexId next = adj[rng.Below(adj.size())];
+    auto [it, inserted] =
+        local.emplace(next, static_cast<uint32_t>(out->vertices.size()));
+    if (inserted) {
+      out->tree.emplace_back(local[cur], it->second);
+      out->vertices.push_back(next);
+    }
+    cur = next;
+  }
+  if (out->vertices.size() < k) return false;
+
+  // Induced edges among the collected vertices (queries are subgraphs of the
+  // data graph, so these are the only edges available).
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = i + 1; j < k; ++j) {
+      if (data.HasEdge(out->vertices[i], out->vertices[j])) {
+        out->induced.emplace_back(i, j);
+      }
+    }
+  }
+  return true;
+}
+
+Graph BuildQuery(const Graph& data, const WalkResult& walk,
+                 const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  GraphBuilder b(static_cast<uint32_t>(walk.vertices.size()));
+  for (uint32_t i = 0; i < walk.vertices.size(); ++i) {
+    b.SetLabel(i, data.label(walk.vertices[i]));
+  }
+  for (const auto& [u, v] : edges) b.AddEdge(u, v);
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+Graph GenerateQuery(const Graph& data, const QueryGenOptions& options) {
+  const uint32_t k = options.num_vertices;
+  if (k < 2) throw std::invalid_argument("GenerateQuery: need >= 2 vertices");
+  if (data.NumVertices() < k) {
+    throw std::runtime_error("GenerateQuery: data graph smaller than query");
+  }
+  Rng rng(options.seed);
+
+  // Sparse target: average degree <= 3, i.e., at most floor(1.5k) edges.
+  const uint64_t sparse_edge_cap = (3ull * k) / 2;
+  // Non-sparse target: average degree > 3, i.e., more than 1.5k edges.
+  const uint64_t dense_edge_min = sparse_edge_cap + 1;
+
+  WalkResult best;
+  bool have_best = false;
+
+  for (uint32_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    WalkResult walk;
+    if (!RandomWalk(data, k, rng, &walk)) continue;
+
+    if (options.sparse) {
+      // Keep the walk tree (connectivity), then pad with a shuffled subset
+      // of the remaining induced edges up to the cap.
+      std::vector<std::pair<uint32_t, uint32_t>> edges = walk.tree;
+      for (auto& [u, v] : edges) {
+        if (u > v) std::swap(u, v);
+      }
+      std::sort(edges.begin(), edges.end());
+      std::vector<std::pair<uint32_t, uint32_t>> extras;
+      for (auto [u, v] : walk.induced) {
+        if (!std::binary_search(edges.begin(), edges.end(),
+                                std::make_pair(u, v))) {
+          extras.emplace_back(u, v);
+        }
+      }
+      // Fisher-Yates shuffle driven by our deterministic RNG.
+      for (size_t i = extras.size(); i > 1; --i) {
+        std::swap(extras[i - 1], extras[rng.Below(i)]);
+      }
+      for (auto [u, v] : extras) {
+        if (edges.size() >= sparse_edge_cap) break;
+        edges.emplace_back(u, v);
+      }
+      return BuildQuery(data, walk, edges);
+    }
+
+    // Non-sparse: need all induced edges to exceed the density bar.
+    if (walk.induced.size() >= dense_edge_min) {
+      return BuildQuery(data, walk, walk.induced);
+    }
+    if (!have_best || walk.induced.size() > best.induced.size()) {
+      best = std::move(walk);
+      have_best = true;
+    }
+  }
+
+  if (!have_best) {
+    throw std::runtime_error(
+        "GenerateQuery: random walks failed to collect enough vertices");
+  }
+  // The data graph has no region dense enough; return the densest subgraph
+  // found (callers treat density classes as best-effort, as the paper's
+  // generator necessarily must on sparse data graphs).
+  return BuildQuery(data, best, best.induced);
+}
+
+std::vector<Graph> GenerateQuerySet(const Graph& data, uint32_t count,
+                                    uint32_t num_vertices, bool sparse,
+                                    uint64_t seed) {
+  std::vector<Graph> queries;
+  queries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryGenOptions options;
+    options.num_vertices = num_vertices;
+    options.sparse = sparse;
+    options.seed = seed + i;
+    queries.push_back(GenerateQuery(data, options));
+  }
+  return queries;
+}
+
+}  // namespace cfl

@@ -1,0 +1,43 @@
+// Query-graph generation (paper Section 6, "Query Graphs").
+//
+// The paper extracts each query as a connected subgraph of the data graph by
+// random walk, and splits query sets into "sparse" (average degree <= 3,
+// suffix S) and "non-sparse" (average degree > 3, suffix N). We reproduce
+// this: a random walk collects the requested number of distinct vertices,
+// the walk's tree edges guarantee connectivity, and the density target is
+// met by keeping either a thinned subset (sparse) or all (non-sparse) of the
+// remaining induced edges. Because a query must be an actual subgraph of the
+// data graph, a non-sparse query is only possible if the walk lands in a
+// sufficiently dense region; the generator retries walks until the density
+// class is met (or returns its densest attempt).
+
+#ifndef CFL_GEN_QUERY_GEN_H_
+#define CFL_GEN_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfl {
+
+struct QueryGenOptions {
+  uint32_t num_vertices = 50;  // |V(q)|
+  bool sparse = true;          // true: avg degree <= 3; false: > 3
+  uint64_t seed = 1;
+  uint32_t max_attempts = 200;  // walk retries to hit the density class
+};
+
+// Generates one query. Throws std::runtime_error if `data` has fewer
+// vertices than requested or no walk can collect enough vertices.
+Graph GenerateQuery(const Graph& data, const QueryGenOptions& options);
+
+// Generates `count` queries with seeds seed, seed+1, ... (paper query sets
+// contain 100 queries each).
+std::vector<Graph> GenerateQuerySet(const Graph& data, uint32_t count,
+                                    uint32_t num_vertices, bool sparse,
+                                    uint64_t seed);
+
+}  // namespace cfl
+
+#endif  // CFL_GEN_QUERY_GEN_H_

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for generators and tests.
+//
+// A small, fast SplitMix64/xoshiro-style generator with explicit seeding so
+// every experiment in the repository is reproducible bit-for-bit across
+// runs and platforms (std::mt19937 would also work, but distribution
+// implementations differ across standard libraries; we implement our own
+// bounded sampling).
+
+#ifndef CFL_GEN_RNG_H_
+#define CFL_GEN_RNG_H_
+
+#include <cstdint>
+
+namespace cfl {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ kGolden) {
+    // Warm up so nearby seeds diverge immediately.
+    Next64();
+    Next64();
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next64() {
+    // SplitMix64 (public domain, Sebastiano Vigna).
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    // Debiased multiply-shift (Lemire).
+    while (true) {
+      uint64_t x = Next64();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t lo = static_cast<uint64_t>(m);
+      if (lo >= bound || lo >= static_cast<uint64_t>(-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Between(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  uint64_t state_;
+};
+
+}  // namespace cfl
+
+#endif  // CFL_GEN_RNG_H_

@@ -1,0 +1,125 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/rng.h"
+#include "graph/graph_builder.h"
+
+namespace cfl {
+
+namespace {
+
+// Samples a label index from the discrete power-law distribution
+// P(l) ~ (l+1)^-alpha via inverse-CDF binary search.
+class PowerLawSampler {
+ public:
+  PowerLawSampler(uint32_t num_labels, double alpha) : cdf_(num_labels) {
+    double total = 0.0;
+    for (uint32_t l = 0; l < num_labels; ++l) {
+      total += std::pow(static_cast<double>(l) + 1.0, -alpha);
+      cdf_[l] = total;
+    }
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  Label Sample(Rng& rng) const {
+    double x = rng.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+    return static_cast<Label>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+Graph MakeSynthetic(const SyntheticOptions& options) {
+  const uint32_t n = options.num_vertices;
+  if (n == 0) throw std::invalid_argument("MakeSynthetic: empty graph");
+  Rng rng(options.seed);
+
+  GraphBuilder builder(n);
+
+  // Labels: power-law over the label alphabet.
+  PowerLawSampler labels(options.num_labels, options.label_exponent);
+  for (VertexId v = 0; v < n; ++v) builder.SetLabel(v, labels.Sample(rng));
+
+  // Random spanning tree: attach each vertex to a uniformly random earlier
+  // vertex (a random recursive tree, connected by construction).
+  std::unordered_set<uint64_t> present;
+  present.reserve(static_cast<size_t>(n * options.average_degree / 2 * 1.3));
+  auto key = [](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  for (VertexId v = 1; v < n; ++v) {
+    VertexId u = static_cast<VertexId>(rng.Below(v));
+    builder.AddEdge(u, v);
+    present.insert(key(u, v));
+  }
+
+  // Extra edges up to the target count.
+  uint64_t target_edges = static_cast<uint64_t>(
+      std::llround(static_cast<double>(n) * options.average_degree / 2.0));
+  target_edges = std::max<uint64_t>(target_edges, n - 1);
+  const uint64_t max_possible =
+      static_cast<uint64_t>(n) * (n - 1) / 2;
+  target_edges = std::min(target_edges, max_possible);
+  uint64_t edges = n - 1;
+  while (edges < target_edges) {
+    VertexId a = static_cast<VertexId>(rng.Below(n));
+    VertexId b = static_cast<VertexId>(rng.Below(n));
+    if (a == b) continue;
+    if (!present.insert(key(a, b)).second) continue;
+    builder.AddEdge(a, b);
+    ++edges;
+  }
+
+  return std::move(builder).Build();
+}
+
+Graph AddTwinVertices(const Graph& g, uint32_t count, double adjacent_fraction,
+                      uint64_t seed) {
+  const uint32_t n = g.NumVertices();
+  Rng rng(seed);
+  GraphBuilder builder(n + count);
+  for (VertexId v = 0; v < n; ++v) {
+    builder.SetLabel(v, g.label(v));
+    for (VertexId w : g.Neighbors(v)) {
+      if (w >= v) builder.AddEdge(v, w);
+    }
+  }
+  // Twins are added in groups of 2-4 copies of one source vertex, because
+  // copies of the *same* source are guaranteed structurally equivalent to
+  // each other (copies of different sources perturb each other's
+  // neighborhoods and rarely stay equivalent).
+  uint32_t added = 0;
+  while (added < count) {
+    VertexId src = static_cast<VertexId>(rng.Below(n));
+    bool adjacent = rng.Chance(adjacent_fraction);
+    uint32_t group = std::min<uint32_t>(
+        count - added, 2 + static_cast<uint32_t>(rng.Below(3)));
+    std::vector<VertexId> siblings;
+    for (uint32_t i = 0; i < group; ++i) {
+      VertexId twin = n + added++;
+      builder.SetLabel(twin, g.label(src));
+      for (VertexId w : g.Neighbors(src)) builder.AddEdge(twin, w);
+      if (adjacent) {
+        // Adjacent twins form a clique with the source.
+        builder.AddEdge(twin, src);
+        for (VertexId s : siblings) builder.AddEdge(twin, s);
+      }
+      siblings.push_back(twin);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace cfl

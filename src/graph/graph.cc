@@ -1,0 +1,39 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace cfl {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  // Probe the endpoint with the shorter adjacency list.
+  if (StructuralDegree(u) > StructuralDegree(v)) std::swap(u, v);
+  std::span<const VertexId> adj = Neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+uint32_t Graph::NeighborLabelCount(VertexId v, Label l) const {
+  std::span<const LabelCount> runs = NeighborLabelCounts(v);
+  auto it = std::lower_bound(
+      runs.begin(), runs.end(), l,
+      [](const LabelCount& run, Label want) { return run.label < want; });
+  if (it == runs.end() || it->label != l) return 0;
+  return it->count;
+}
+
+uint64_t Graph::MemoryBytes() const {
+  uint64_t bytes = 0;
+  bytes += offsets_.capacity() * sizeof(uint64_t);
+  bytes += neighbors_.capacity() * sizeof(VertexId);
+  bytes += labels_.capacity() * sizeof(Label);
+  bytes += multiplicity_.capacity() * sizeof(uint32_t);
+  bytes += effective_degree_.capacity() * sizeof(uint32_t);
+  bytes += label_offsets_.capacity() * sizeof(uint64_t);
+  bytes += label_vertices_.capacity() * sizeof(VertexId);
+  bytes += label_frequency_.capacity() * sizeof(uint64_t);
+  bytes += nlf_offsets_.capacity() * sizeof(uint64_t);
+  bytes += nlf_.capacity() * sizeof(LabelCount);
+  bytes += mnd_.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace cfl

@@ -1,0 +1,163 @@
+// Core graph representation for the CFL-Match library.
+//
+// The paper (Bi et al., SIGMOD 2016) operates on vertex-labeled undirected
+// graphs. `Graph` is an immutable CSR (compressed sparse row) structure
+// optimized for the access patterns of subgraph matching:
+//   * O(1) label lookup and candidate seeding via a label index,
+//   * O(log d) edge-existence probes (sorted adjacency, probe the smaller
+//     endpoint),
+//   * O(log L) neighbor-label-frequency (NLF) lookups for CandVerify
+//     (paper Algorithm 6),
+//   * O(1) max-neighbor-degree lookups (paper Lemma A.1).
+//
+// `Graph` doubles as the representation of *compressed* data graphs produced
+// by the structural-equivalence merging of Ren & Wang [14] (the "-Boost"
+// variants): each vertex may carry a multiplicity >= 1 counting how many
+// original vertices it stands for, and a vertex whose members form a clique
+// carries a self-loop. All degree-like accessors report *effective* values
+// (as if the graph were expanded), which is exactly what candidate filters
+// must compare against; `StructuralDegree` reports the raw CSR degree.
+//
+// Instances are created through `GraphBuilder` (graph_builder.h).
+
+#ifndef CFL_GRAPH_GRAPH_H_
+#define CFL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cfl {
+
+using VertexId = uint32_t;
+using Label = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // --- Basic shape ------------------------------------------------------
+
+  uint32_t NumVertices() const { return static_cast<uint32_t>(labels_.size()); }
+
+  // Number of undirected edges (a self-loop counts as one edge).
+  uint64_t NumEdges() const { return num_edges_; }
+
+  // Labels are dense in [0, NumLabels()).
+  uint32_t NumLabels() const { return num_labels_; }
+
+  Label label(VertexId v) const { return labels_[v]; }
+
+  // --- Adjacency --------------------------------------------------------
+
+  // Neighbors of v, sorted ascending. If the graph has a self-loop at v
+  // (compressed clique class), v itself appears in the list.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  // Number of entries in v's adjacency list.
+  uint32_t StructuralDegree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Degree of v in the (conceptually expanded) graph: the number of distinct
+  // vertices adjacent to any member of v. Equal to StructuralDegree for
+  // plain graphs.
+  uint32_t degree(VertexId v) const { return effective_degree_[v]; }
+
+  // True iff (u, v) is an edge. u == v tests for a self-loop.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // --- Multiplicities (compressed graphs) --------------------------------
+
+  bool HasMultiplicities() const { return !multiplicity_.empty(); }
+
+  // How many original vertices this vertex stands for (1 in plain graphs).
+  uint32_t multiplicity(VertexId v) const {
+    return multiplicity_.empty() ? 1u : multiplicity_[v];
+  }
+
+  // Total vertex count of the conceptually expanded graph.
+  uint64_t EffectiveNumVertices() const { return effective_num_vertices_; }
+
+  // --- Label index -------------------------------------------------------
+
+  // All vertices with label l, sorted ascending.
+  std::span<const VertexId> VerticesWithLabel(Label l) const {
+    if (l >= num_labels_) return {};
+    return {label_vertices_.data() + label_offsets_[l],
+            label_vertices_.data() + label_offsets_[l + 1]};
+  }
+
+  // Number of (expanded) vertices with label l; the paper's label frequency.
+  uint64_t LabelFrequency(Label l) const {
+    return l < num_labels_ ? label_frequency_[l] : 0;
+  }
+
+  // --- Filters' support structures ---------------------------------------
+
+  // Number of (expanded) neighbors of v with label l; the paper's d(v, l)
+  // used by the NLF filter (Algorithm 6 lines 2-4).
+  uint32_t NeighborLabelCount(VertexId v, Label l) const;
+
+  // Number of distinct labels among v's neighbors; |L_N(v)|.
+  uint32_t NeighborLabelKinds(VertexId v) const {
+    return static_cast<uint32_t>(nlf_offsets_[v + 1] - nlf_offsets_[v]);
+  }
+
+  // Runs of (label, count) over v's neighbors, sorted by label.
+  struct LabelCount {
+    Label label;
+    uint32_t count;
+  };
+  std::span<const LabelCount> NeighborLabelCounts(VertexId v) const {
+    return {nlf_.data() + nlf_offsets_[v], nlf_.data() + nlf_offsets_[v + 1]};
+  }
+
+  // The paper's mnd(v) (Definition A.1): max effective degree over N(v).
+  // Zero for isolated vertices.
+  uint32_t MaxNeighborDegree(VertexId v) const { return mnd_[v]; }
+
+  // Approximate heap footprint in bytes; used by the index-size experiment.
+  uint64_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> offsets_;   // size n+1
+  std::vector<VertexId> neighbors_; // size 2m, sorted per vertex
+  std::vector<Label> labels_;       // size n
+  uint64_t num_edges_ = 0;
+  uint32_t num_labels_ = 0;
+
+  std::vector<uint32_t> multiplicity_;      // empty => all ones
+  uint64_t effective_num_vertices_ = 0;
+
+  std::vector<uint32_t> effective_degree_;  // size n
+
+  // Label index.
+  std::vector<uint64_t> label_offsets_;   // size num_labels+1
+  std::vector<VertexId> label_vertices_;  // size n
+  std::vector<uint64_t> label_frequency_; // size num_labels (multiplicities)
+
+  // NLF index: per-vertex (label, count) runs.
+  std::vector<uint64_t> nlf_offsets_;  // size n+1
+  std::vector<LabelCount> nlf_;
+
+  std::vector<uint32_t> mnd_;  // size n
+};
+
+}  // namespace cfl
+
+#endif  // CFL_GRAPH_GRAPH_H_

@@ -1,0 +1,186 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cfl {
+
+GraphBuilder::GraphBuilder(uint32_t num_vertices)
+    : num_vertices_(num_vertices), labels_(num_vertices, 0) {}
+
+void GraphBuilder::SetLabel(VertexId v, Label l) {
+  assert(v < num_vertices_);
+  labels_[v] = l;
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::out_of_range("GraphBuilder::AddEdge: vertex id out of range");
+  }
+  if (u == v) {
+    if (!allow_self_loops_) {
+      throw std::invalid_argument(
+          "GraphBuilder::AddEdge: self-loop without AllowSelfLoops()");
+    }
+    edges_.emplace_back(u, u);
+    return;
+  }
+  edges_.emplace_back(u, v);
+  edges_.emplace_back(v, u);
+}
+
+void GraphBuilder::SetMultiplicities(std::vector<uint32_t> multiplicity) {
+  if (multiplicity.size() != num_vertices_) {
+    throw std::invalid_argument(
+        "GraphBuilder::SetMultiplicities: size mismatch");
+  }
+  for (uint32_t m : multiplicity) {
+    if (m == 0) {
+      throw std::invalid_argument(
+          "GraphBuilder::SetMultiplicities: multiplicity must be >= 1");
+    }
+  }
+  multiplicity_ = std::move(multiplicity);
+}
+
+Graph GraphBuilder::Build() && {
+  Graph g;
+  const uint32_t n = num_vertices_;
+  g.labels_ = std::move(labels_);
+  g.multiplicity_ = std::move(multiplicity_);
+
+  // Deduplicate and sort directed arcs.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) g.offsets_[u + 1]++;
+  for (uint32_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.neighbors_.resize(edges_.size());
+  {
+    std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const auto& [u, v] : edges_) g.neighbors_[cursor[u]++] = v;
+  }
+
+  // Undirected edge count: non-loop arcs appear twice, loops once.
+  uint64_t loops = 0;
+  for (const auto& [u, v] : edges_) {
+    if (u == v) ++loops;
+  }
+  g.num_edges_ = (edges_.size() - loops) / 2 + loops;
+
+  g.num_labels_ = 0;
+  for (Label l : g.labels_) g.num_labels_ = std::max(g.num_labels_, l + 1);
+
+  auto mult = [&g](VertexId v) {
+    return g.multiplicity_.empty() ? 1u : g.multiplicity_[v];
+  };
+
+  g.effective_num_vertices_ = 0;
+  for (uint32_t v = 0; v < n; ++v) g.effective_num_vertices_ += mult(v);
+
+  // Effective degrees: a neighbor hypervertex w contributes mult(w) distinct
+  // expanded neighbors; a self-loop contributes the other mult(v)-1 members.
+  g.effective_degree_.assign(n, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    uint64_t d = 0;
+    for (VertexId w : g.Neighbors(v)) d += (w == v) ? mult(v) - 1 : mult(w);
+    g.effective_degree_[v] = static_cast<uint32_t>(d);
+  }
+
+  // Label index, grouped by label then id.
+  g.label_offsets_.assign(g.num_labels_ + 1, 0);
+  g.label_frequency_.assign(g.num_labels_, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.label_offsets_[g.labels_[v] + 1]++;
+    g.label_frequency_[g.labels_[v]] += mult(v);
+  }
+  for (uint32_t l = 0; l < g.num_labels_; ++l) {
+    g.label_offsets_[l + 1] += g.label_offsets_[l];
+  }
+  g.label_vertices_.resize(n);
+  {
+    std::vector<uint64_t> cursor(g.label_offsets_.begin(),
+                                 g.label_offsets_.end() - 1);
+    for (uint32_t v = 0; v < n; ++v) {
+      g.label_vertices_[cursor[g.labels_[v]]++] = v;
+    }
+  }
+
+  // NLF runs: per vertex, (label, effective count) sorted by label.
+  g.nlf_offsets_.assign(n + 1, 0);
+  std::vector<Graph::LabelCount> scratch;
+  std::vector<std::vector<Graph::LabelCount>> runs(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    scratch.clear();
+    for (VertexId w : g.Neighbors(v)) {
+      uint32_t c = (w == v) ? mult(v) - 1 : mult(w);
+      if (c == 0) continue;  // singleton self-loop adds no expanded neighbor
+      scratch.push_back({g.labels_[w], c});
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Graph::LabelCount& a, const Graph::LabelCount& b) {
+                return a.label < b.label;
+              });
+    std::vector<Graph::LabelCount>& out = runs[v];
+    for (const Graph::LabelCount& lc : scratch) {
+      if (!out.empty() && out.back().label == lc.label) {
+        out.back().count += lc.count;
+      } else {
+        out.push_back(lc);
+      }
+    }
+    g.nlf_offsets_[v + 1] = g.nlf_offsets_[v] + out.size();
+  }
+  g.nlf_.reserve(g.nlf_offsets_[n]);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.nlf_.insert(g.nlf_.end(), runs[v].begin(), runs[v].end());
+  }
+
+  // Max neighbor degree over effective degrees.
+  g.mnd_.assign(n, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    uint32_t best = 0;
+    for (VertexId w : g.Neighbors(v)) {
+      best = std::max(best, g.effective_degree_[w]);
+    }
+    g.mnd_[v] = best;
+  }
+
+  return g;
+}
+
+Graph MakeGraph(const std::vector<Label>& labels,
+                const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder b(static_cast<uint32_t>(labels.size()));
+  for (uint32_t v = 0; v < labels.size(); ++v) b.SetLabel(v, labels[v]);
+  for (const auto& [u, v] : edges) b.AddEdge(u, v);
+  return std::move(b).Build();
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices,
+                      std::vector<VertexId>* to_original) {
+  std::unordered_map<VertexId, uint32_t> local;
+  local.reserve(vertices.size() * 2);
+  for (uint32_t i = 0; i < vertices.size(); ++i) local.emplace(vertices[i], i);
+
+  GraphBuilder b(static_cast<uint32_t>(vertices.size()));
+  if (g.HasMultiplicities()) b.AllowSelfLoops();
+  std::vector<uint32_t> mult;
+  for (uint32_t i = 0; i < vertices.size(); ++i) {
+    b.SetLabel(i, g.label(vertices[i]));
+    if (g.HasMultiplicities()) mult.push_back(g.multiplicity(vertices[i]));
+    for (VertexId w : g.Neighbors(vertices[i])) {
+      auto it = local.find(w);
+      if (it == local.end()) continue;
+      if (it->second >= i) b.AddEdge(i, it->second);  // each edge once
+    }
+  }
+  if (g.HasMultiplicities()) b.SetMultiplicities(std::move(mult));
+  if (to_original != nullptr) *to_original = vertices;
+  return std::move(b).Build();
+}
+
+}  // namespace cfl

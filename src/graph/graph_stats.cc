@@ -1,0 +1,52 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cfl {
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.NumVertices();
+  s.num_edges = g.NumEdges();
+  s.num_labels = g.NumLabels();
+  for (Label l = 0; l < g.NumLabels(); ++l) {
+    if (!g.VerticesWithLabel(l).empty()) ++s.distinct_labels;
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    s.max_degree = std::max(s.max_degree, g.StructuralDegree(v));
+  }
+  if (s.num_vertices > 0) {
+    s.average_degree =
+        2.0 * static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+  }
+  return s;
+}
+
+std::string Describe(const GraphStats& s) {
+  std::ostringstream os;
+  os << "|V|=" << s.num_vertices << " |E|=" << s.num_edges
+     << " |Sigma|=" << s.distinct_labels << " d=" << s.average_degree
+     << " dmax=" << s.max_degree;
+  return os.str();
+}
+
+LabelPairFrequency::LabelPairFrequency(const Graph& g)
+    : num_labels_(g.NumLabels()) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (w < v) continue;  // count each undirected edge once
+      Label a = std::min(g.label(v), g.label(w));
+      Label b = std::max(g.label(v), g.label(w));
+      counts_[a * num_labels_ + b]++;
+    }
+  }
+}
+
+uint64_t LabelPairFrequency::Frequency(Label a, Label b) const {
+  if (a > b) std::swap(a, b);
+  auto it = counts_.find(a * num_labels_ + b);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace cfl

@@ -1,0 +1,50 @@
+// Summary statistics over graphs.
+//
+// Used by (a) the QuickSI baseline, whose QI-sequence orders query edges by
+// how infrequent their label pair is in the data graph, (b) the dataset
+// stand-in builders which must verify they hit the paper's published
+// statistics, and (c) the benches' workload descriptions.
+
+#ifndef CFL_GRAPH_GRAPH_STATS_H_
+#define CFL_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.h"
+
+namespace cfl {
+
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t num_labels = 0;       // label-space size (max label + 1)
+  uint32_t distinct_labels = 0;  // labels actually used
+  double average_degree = 0.0;
+  uint32_t max_degree = 0;
+};
+
+GraphStats ComputeStats(const Graph& g);
+
+// Human-readable one-liner: "|V|=9460 |E|=37081 |Sigma|=307 d=7.84 dmax=270".
+std::string Describe(const GraphStats& s);
+
+// Frequencies of unordered label pairs over the edges of `g`, keyed by
+// min(l1,l2) * num_labels + max(l1,l2). This is QuickSI's edge-frequency
+// table: the weight of a query edge (u, u') is the number of data edges
+// whose endpoint labels are {l(u), l(u')}.
+class LabelPairFrequency {
+ public:
+  explicit LabelPairFrequency(const Graph& g);
+
+  uint64_t Frequency(Label a, Label b) const;
+
+ private:
+  uint64_t num_labels_;
+  std::unordered_map<uint64_t, uint64_t> counts_;
+};
+
+}  // namespace cfl
+
+#endif  // CFL_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,40 @@
+#include "harness/env.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace cfl {
+
+namespace {
+
+const char* Getenv(const char* name) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && value[0] != '\0') ? value : nullptr;
+}
+
+}  // namespace
+
+double BenchScale(double fallback) {
+  const char* value = Getenv("CFL_BENCH_SCALE");
+  if (value == nullptr) return fallback;
+  std::string s(value);
+  if (s == "full" || s == "FULL") return 1.0;
+  double parsed = std::atof(value);
+  return (parsed > 0.0 && parsed <= 1.0) ? parsed : fallback;
+}
+
+uint32_t BenchQueries(uint32_t fallback) {
+  const char* value = Getenv("CFL_BENCH_QUERIES");
+  if (value == nullptr) return fallback;
+  long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<uint32_t>(parsed) : fallback;
+}
+
+double BenchTimeLimitSeconds(double fallback) {
+  const char* value = Getenv("CFL_BENCH_TIME_LIMIT_S");
+  if (value == nullptr) return fallback;
+  double parsed = std::atof(value);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+}  // namespace cfl

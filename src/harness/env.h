@@ -1,0 +1,30 @@
+// Environment-variable knobs for the benches.
+//
+// Every bench honors:
+//   CFL_BENCH_SCALE   — "full" for paper-scale graphs, or a fraction in
+//                       (0, 1]; the default keeps the whole suite at
+//                       laptop/minutes scale.
+//   CFL_BENCH_QUERIES — queries per query set (paper: 100; default lower).
+//   CFL_BENCH_TIME_LIMIT_S — per-query-set wall budget in seconds standing
+//                       in for the paper's 5-hour limit; sets that exceed
+//                       it report "INF" like the paper's plots.
+
+#ifndef CFL_HARNESS_ENV_H_
+#define CFL_HARNESS_ENV_H_
+
+#include <cstdint>
+
+namespace cfl {
+
+// CFL_BENCH_SCALE (default `fallback`, typically 0.25).
+double BenchScale(double fallback = 0.25);
+
+// CFL_BENCH_QUERIES (default `fallback`, typically 20).
+uint32_t BenchQueries(uint32_t fallback = 20);
+
+// CFL_BENCH_TIME_LIMIT_S (default `fallback` seconds, typically 20).
+double BenchTimeLimitSeconds(double fallback = 20.0);
+
+}  // namespace cfl
+
+#endif  // CFL_HARNESS_ENV_H_

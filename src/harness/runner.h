@@ -1,0 +1,61 @@
+// Query-set runner reproducing the paper's measurement protocol
+// (Section 6, "Metrics"): run an engine over a query set, report the
+// *average CPU time in milliseconds per query*, split into ordering and
+// enumeration time; a query set that exceeds its wall budget is reported as
+// "INF" (the paper's 5-hour limit, scaled down via CFL_BENCH_TIME_LIMIT_S).
+
+#ifndef CFL_HARNESS_RUNNER_H_
+#define CFL_HARNESS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "match/engine.h"
+
+namespace cfl {
+
+struct QuerySetResult {
+  uint32_t queries_run = 0;
+  uint32_t queries_total = 0;
+  bool exhausted_budget = false;  // => report as INF
+
+  double avg_total_ms = 0.0;
+  double avg_order_ms = 0.0;  // ordering + auxiliary-structure time
+  double avg_enum_ms = 0.0;
+  double avg_index_entries = 0.0;
+  uint64_t total_embeddings = 0;
+  uint32_t timeouts = 0;  // per-query deadline hits
+
+  bool IsInf() const { return exhausted_budget; }
+};
+
+struct RunConfig {
+  MatchLimits per_query;            // embedding cap & per-query deadline
+  double set_budget_seconds = 0.0;  // <= 0: unlimited, applied per repetition
+
+  // The paper runs each query set three times; we likewise repeat and keep
+  // the fastest repetition per metric, which suppresses scheduler spikes
+  // that would otherwise dominate sub-millisecond averages. Counts come
+  // from the first repetition (they are deterministic anyway).
+  uint32_t repetitions = 3;
+};
+
+// Runs `engine` over `queries`; stops early (marking INF) once the set
+// budget is exhausted. Per-query deadline hits also mark the set INF, since
+// the paper's protocol has no per-query timeout — a query that we had to cut
+// off would have pushed the set past its budget.
+QuerySetResult RunQuerySet(SubgraphEngine& engine,
+                           const std::vector<Graph>& queries,
+                           const RunConfig& config);
+
+// "INF" or the average total time, for figure-style tables.
+std::string FormatResult(const QuerySetResult& r);
+// Same for the ordering / enumeration splits.
+std::string FormatOrderResult(const QuerySetResult& r);
+std::string FormatEnumResult(const QuerySetResult& r);
+
+}  // namespace cfl
+
+#endif  // CFL_HARNESS_RUNNER_H_

@@ -1,0 +1,29 @@
+// Minimal wall-clock stopwatch for the experiment harness.
+
+#ifndef CFL_HARNESS_STOPWATCH_H_
+#define CFL_HARNESS_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cfl {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cfl
+
+#endif  // CFL_HARNESS_STOPWATCH_H_

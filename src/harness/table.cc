@@ -1,0 +1,52 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cfl {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const std::vector<std::string>& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+          << (c == 0 ? std::left : std::right) << row[c];
+      out << std::right;
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << "\n";
+  for (const std::vector<std::string>& row : rows_) print_row(row);
+}
+
+std::string FormatMillis(double millis) {
+  std::ostringstream os;
+  if (millis < 1.0) {
+    os << std::fixed << std::setprecision(3) << millis;
+  } else if (millis < 100.0) {
+    os << std::fixed << std::setprecision(2) << millis;
+  } else {
+    os << std::fixed << std::setprecision(0) << millis;
+  }
+  return os.str();
+}
+
+}  // namespace cfl

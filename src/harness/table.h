@@ -1,0 +1,34 @@
+// Plain-text table printing in the shape of the paper's figures: one row
+// per query set / parameter value, one column per algorithm/series.
+
+#ifndef CFL_HARNESS_TABLE_H_
+#define CFL_HARNESS_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cfl {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Milliseconds with sensible precision ("0.42", "13.5", "5021").
+std::string FormatMillis(double millis);
+
+// The paper plots unfinishable query sets as "INF".
+inline constexpr const char* kInf = "INF";
+
+}  // namespace cfl
+
+#endif  // CFL_HARNESS_TABLE_H_

@@ -1,0 +1,137 @@
+#include "match/cfl_match.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "cpi/root_select.h"
+#include "decomp/cfl_decomposition.h"
+#include "decomp/two_core.h"
+#include "match/enumerator.h"
+#include "match/leaf_match.h"
+#include "order/cardinality.h"
+
+namespace cfl {
+
+namespace {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Lap() {
+    auto now = std::chrono::steady_clock::now();
+    double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+CflMatcher::CflMatcher(const Graph& data)
+    : data_(data), label_degree_index_(data), cpi_builder_(data) {}
+
+double CflMatcher::EstimateEmbeddings(const Graph& q) {
+  std::vector<VertexId> core = TwoCoreVertices(q);
+  std::vector<VertexId> choices = core;
+  if (choices.empty()) {
+    for (VertexId u = 0; u < q.NumVertices(); ++u) choices.push_back(u);
+  }
+  VertexId root = SelectRoot(q, data_, label_degree_index_, choices);
+  BfsTree tree = BuildBfsTree(q, root);
+  Cpi cpi = cpi_builder_.Build(q, tree, CpiStrategy::kRefined);
+  if (cpi.HasEmptyCandidateSet()) return 0.0;
+  std::vector<bool> all(q.NumVertices(), true);
+  return TreeCardinality(cpi, root, all);
+}
+
+MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
+  MatchResult result;
+  WallTimer total_timer;
+  WallTimer phase_timer;
+
+  // --- Decomposition, root selection, BFS tree --------------------------
+  std::vector<VertexId> core = TwoCoreVertices(q);
+  const std::vector<VertexId>* root_choices = &core;
+  std::vector<VertexId> all_vertices;
+  if (core.empty()) {
+    // Tree query: the core degenerates to the root, chosen among all.
+    all_vertices.resize(q.NumVertices());
+    for (VertexId v = 0; v < q.NumVertices(); ++v) all_vertices[v] = v;
+    root_choices = &all_vertices;
+  }
+  VertexId root = SelectRoot(q, data_, label_degree_index_, *root_choices);
+  CflDecomposition decomposition = DecomposeCfl(q, root);
+  BfsTree tree = BuildBfsTree(q, root);
+
+  // --- CPI ----------------------------------------------------------------
+  Cpi cpi = cpi_builder_.Build(q, tree, options.cpi_strategy);
+  result.build_seconds = phase_timer.Lap();
+  result.index_entries = cpi.SizeInEntries();
+
+  if (cpi.HasEmptyCandidateSet()) {
+    result.total_seconds = total_timer.Lap();
+    return result;
+  }
+
+  // --- Matching order ----------------------------------------------------
+  MatchingOrder order = ComputeMatchingOrder(
+      q, cpi, decomposition, options.decomposition, options.ordering);
+  result.order_seconds = phase_timer.Lap();
+
+  // --- Enumeration -------------------------------------------------------
+  Deadline deadline(options.limits.time_limit_seconds);
+  EnumeratorState state(q.NumVertices(), data_.NumVertices());
+  LeafMatcher leaf_matcher(q, cpi, order.leaves);
+  const uint64_t cap = options.limits.max_embeddings;
+  const bool compressed = data_.HasMultiplicities();
+
+  EnumerateStatus status;
+  if (!options.on_embedding) {
+    // Counting mode: leaf completions are counted as Cartesian products of
+    // label-class counts — never materialized.
+    status = EnumeratePartial(
+        data_, cpi, order.steps, state, deadline, [&]() {
+          uint64_t count = 1;
+          if (compressed) {
+            // Unmatched leaf entries are kInvalidVertex and skipped; the
+            // leaf count below already accounts for leaf expansions.
+            count = ExpansionFactor(data_, state.mapping);
+          }
+          if (leaf_matcher.HasLeaves()) {
+            count = SaturatingMul(
+                count, leaf_matcher.CountEmbeddings(data_, state));
+          }
+          result.embeddings = SaturatingAdd(result.embeddings, count);
+          return result.embeddings < cap;
+        });
+  } else {
+    // Enumeration mode: expand leaf assignments and invoke the callback.
+    status = EnumeratePartial(
+        data_, cpi, order.steps, state, deadline, [&]() {
+          EnumerateStatus leaf_status = leaf_matcher.EnumerateEmbeddings(
+              data_, state, deadline, [&]() {
+                ++result.embeddings;
+                bool keep = options.on_embedding(state.mapping);
+                return keep && result.embeddings < cap;
+              });
+          if (leaf_status == EnumerateStatus::kTimedOut) {
+            result.timed_out = true;
+          }
+          return leaf_status == EnumerateStatus::kDone;
+        });
+  }
+
+  if (status == EnumerateStatus::kTimedOut) result.timed_out = true;
+  result.reached_limit = !result.timed_out && result.embeddings >= cap;
+
+  result.candidates_tried = state.candidates_tried;
+  result.candidates_bound = state.candidates_bound;
+  result.enumerate_seconds = phase_timer.Lap();
+  result.total_seconds = total_timer.Lap();
+  return result;
+}
+
+}  // namespace cfl

@@ -1,0 +1,81 @@
+// CFL-Match: the paper's algorithm (Algorithm 1) and its ablation variants.
+//
+// Pipeline per query:
+//   1. CFL-Decompose: 2-core peeling -> (V_C, V_T, V_I); root selection from
+//      the core-set (A.6); BFS tree construction.
+//   2. CPI-Construct: top-down construction + bottom-up refinement
+//      (Algorithms 3-4), or the Naive / TD-only strategies for the
+//      CFL-Match-Naive / CFL-Match-TD variants.
+//   3. Matching order: greedy path ordering from the CPI cost model
+//      (Algorithm 2), macro order (V_C, V_T, V_I).
+//   4. Core-match + forest-match by CPI-based backtracking (Algorithm 5);
+//      leaf-match by label-class/NEC counting (Section 4.4).
+//
+// `CflMatcher` is constructed once per data graph (it hosts the
+// LabelDegreeIndex and the CPI builder's scratch) and then serves any number
+// of queries. It accepts compressed data graphs (vertex multiplicities, the
+// [14] boost): counting mode is exact on them; enumeration mode emits
+// compressed embeddings (each distinct expansion is counted, not emitted).
+
+#ifndef CFL_MATCH_CFL_MATCH_H_
+#define CFL_MATCH_CFL_MATCH_H_
+
+#include <memory>
+
+#include "cpi/candidate_filter.h"
+#include "cpi/cpi_builder.h"
+#include "graph/graph.h"
+#include "match/embedding.h"
+#include "order/matching_order.h"
+
+namespace cfl {
+
+struct MatchOptions {
+  MatchLimits limits;
+
+  // Ablations (paper Section 6): kCfl = CFL-Match, kCoreForest = CF-Match,
+  // kNone = Match.
+  DecompositionMode decomposition = DecompositionMode::kCfl;
+
+  // kRefined = CFL-Match, kTopDown = CFL-Match-TD, kNaive = CFL-Match-Naive.
+  CpiStrategy cpi_strategy = CpiStrategy::kRefined;
+
+  // Ordering ablation: Algorithm 2 (default) vs plain BFS path order.
+  PathOrderingStrategy ordering = PathOrderingStrategy::kGreedyCost;
+
+  // Optional: invoked per embedding. Forces full enumeration of leaf
+  // assignments (instead of the on-the-fly Cartesian-product counting), so
+  // it is slower when leaves dominate; leave unset for counting workloads.
+  EmbeddingCallback on_embedding;
+};
+
+class CflMatcher {
+ public:
+  explicit CflMatcher(const Graph& data);
+
+  CflMatcher(const CflMatcher&) = delete;
+  CflMatcher& operator=(const CflMatcher&) = delete;
+
+  const Graph& data() const { return data_; }
+
+  // Extracts (counts, or enumerates via options.on_embedding) all subgraph
+  // isomorphic embeddings of `q` in the data graph, subject to limits.
+  MatchResult Match(const Graph& q, const MatchOptions& options = {});
+
+  // Cheap cardinality estimate: the number of embeddings of q's BFS *tree*
+  // in the refined CPI (the same quantity Algorithm 2's cost model ranks
+  // paths by), computed without any enumeration. Ignores non-tree edges and
+  // injectivity, so it upper-approximates sparse queries and is exact for
+  // tree queries whose labels are pairwise distinct. Useful as a join-size
+  // estimate before committing to a full Match.
+  double EstimateEmbeddings(const Graph& q);
+
+ private:
+  const Graph& data_;
+  LabelDegreeIndex label_degree_index_;
+  CpiBuilder cpi_builder_;
+};
+
+}  // namespace cfl
+
+#endif  // CFL_MATCH_CFL_MATCH_H_

@@ -1,0 +1,19 @@
+#include "match/embedding.h"
+
+#include <unordered_map>
+
+namespace cfl {
+
+uint64_t ExpansionFactor(const Graph& data, const Embedding& mapping) {
+  if (!data.HasMultiplicities()) return 1;
+  uint64_t factor = 1;
+  std::unordered_map<VertexId, uint32_t> seen;
+  for (VertexId v : mapping) {
+    if (v == kInvalidVertex) continue;
+    uint32_t j = ++seen[v];
+    factor = SaturatingMul(factor, data.multiplicity(v) - j + 1);
+  }
+  return factor;
+}
+
+}  // namespace cfl

@@ -1,0 +1,82 @@
+#include "match/engine.h"
+
+#include <utility>
+
+#include "match/cfl_match.h"
+
+namespace cfl {
+
+namespace {
+
+class CflEngine : public SubgraphEngine {
+ public:
+  CflEngine(const Graph& data, std::string name, DecompositionMode mode,
+            CpiStrategy strategy, PathOrderingStrategy ordering)
+      : name_(std::move(name)),
+        mode_(mode),
+        strategy_(strategy),
+        ordering_(ordering),
+        matcher_(data) {}
+
+  std::string_view name() const override { return name_; }
+
+  MatchResult Run(const Graph& query, const MatchLimits& limits) override {
+    MatchOptions options;
+    options.limits = limits;
+    options.decomposition = mode_;
+    options.cpi_strategy = strategy_;
+    options.ordering = ordering_;
+    return matcher_.Match(query, options);
+  }
+
+ private:
+  std::string name_;
+  DecompositionMode mode_;
+  CpiStrategy strategy_;
+  PathOrderingStrategy ordering_;
+  CflMatcher matcher_;
+};
+
+}  // namespace
+
+std::unique_ptr<SubgraphEngine> MakeCflEngine(const Graph& data,
+                                              std::string name,
+                                              DecompositionMode mode,
+                                              CpiStrategy strategy,
+                                              PathOrderingStrategy ordering) {
+  return std::make_unique<CflEngine>(data, std::move(name), mode, strategy,
+                                     ordering);
+}
+
+std::unique_ptr<SubgraphEngine> MakeCflMatch(const Graph& data) {
+  return MakeCflEngine(data, "CFL-Match", DecompositionMode::kCfl,
+                       CpiStrategy::kRefined);
+}
+
+std::unique_ptr<SubgraphEngine> MakeCfMatch(const Graph& data) {
+  return MakeCflEngine(data, "CF-Match", DecompositionMode::kCoreForest,
+                       CpiStrategy::kRefined);
+}
+
+std::unique_ptr<SubgraphEngine> MakeMatchNoDecomp(const Graph& data) {
+  return MakeCflEngine(data, "Match", DecompositionMode::kNone,
+                       CpiStrategy::kRefined);
+}
+
+std::unique_ptr<SubgraphEngine> MakeCflMatchTd(const Graph& data) {
+  return MakeCflEngine(data, "CFL-Match-TD", DecompositionMode::kCfl,
+                       CpiStrategy::kTopDown);
+}
+
+std::unique_ptr<SubgraphEngine> MakeCflMatchNaive(const Graph& data) {
+  return MakeCflEngine(data, "CFL-Match-Naive", DecompositionMode::kCfl,
+                       CpiStrategy::kNaive);
+}
+
+std::unique_ptr<SubgraphEngine> MakeCflMatchBfsOrder(const Graph& data) {
+  return MakeCflEngine(data, "CFL-Match-BFSOrder", DecompositionMode::kCfl,
+                       CpiStrategy::kRefined,
+                       PathOrderingStrategy::kBfsNatural);
+}
+
+}  // namespace cfl

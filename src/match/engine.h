@@ -1,0 +1,55 @@
+// Uniform engine interface over every matcher in the repository, used by
+// the benches, the cross-engine property tests, and the comparison example.
+//
+// An engine is bound to one data graph at construction (so per-data-graph
+// indexes are built once) and then answers queries. All engines count
+// embeddings with the same limit semantics: stop once `max_embeddings` have
+// been found, report timed_out if the deadline expires first.
+
+#ifndef CFL_MATCH_ENGINE_H_
+#define CFL_MATCH_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cpi/cpi_builder.h"
+#include "graph/graph.h"
+#include "match/embedding.h"
+#include "order/matching_order.h"
+
+namespace cfl {
+
+class SubgraphEngine {
+ public:
+  virtual ~SubgraphEngine() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual MatchResult Run(const Graph& query, const MatchLimits& limits) = 0;
+};
+
+// The CFL family (paper Section 6 variants):
+//   MakeCflMatch       — CFL-Match (full framework, refined CPI)
+//   MakeCfMatch        — CF-Match (no leaf stage)
+//   MakeMatchNoDecomp  — Match (no decomposition)
+//   MakeCflMatchTd     — CFL-Match-TD (top-down CPI only)
+//   MakeCflMatchNaive  — CFL-Match-Naive (label-only CPI)
+std::unique_ptr<SubgraphEngine> MakeCflEngine(
+    const Graph& data, std::string name, DecompositionMode mode,
+    CpiStrategy strategy,
+    PathOrderingStrategy ordering = PathOrderingStrategy::kGreedyCost);
+
+std::unique_ptr<SubgraphEngine> MakeCflMatch(const Graph& data);
+std::unique_ptr<SubgraphEngine> MakeCfMatch(const Graph& data);
+std::unique_ptr<SubgraphEngine> MakeMatchNoDecomp(const Graph& data);
+std::unique_ptr<SubgraphEngine> MakeCflMatchTd(const Graph& data);
+std::unique_ptr<SubgraphEngine> MakeCflMatchNaive(const Graph& data);
+
+// Ordering ablation: CFL-Match with paths in plain BFS order instead of the
+// cost-model-driven Algorithm 2 ("CFL-Match-BFSOrder").
+std::unique_ptr<SubgraphEngine> MakeCflMatchBfsOrder(const Graph& data);
+
+}  // namespace cfl
+
+#endif  // CFL_MATCH_ENGINE_H_

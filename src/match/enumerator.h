@@ -1,0 +1,142 @@
+// CPI-based backtracking enumeration (paper Algorithm 5, Core-Match, in the
+// non-recursive form the authors also use).
+//
+// Walks the matching order's steps, drawing the candidates of each query
+// vertex u from the CPI adjacency list N_u^{u.p}(M(u.p)) of its BFS-tree
+// parent's current mapping; the data graph is probed only to validate
+// backward non-tree edges (Theorem 4.1). Forest steps simply have no
+// backward edges, so the same loop serves core-match and forest-match.
+//
+// Injectivity is capacity-based: `used[v] < data.multiplicity(v)` — on plain
+// graphs this is the ordinary visited check, on compressed data graphs
+// (the [14] boost) it lets several query vertices share a hypervertex.
+
+#ifndef CFL_MATCH_ENUMERATOR_H_
+#define CFL_MATCH_ENUMERATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cpi/cpi.h"
+#include "graph/graph.h"
+#include "match/embedding.h"
+#include "order/matching_order.h"
+
+namespace cfl {
+
+enum class EnumerateStatus {
+  kDone,      // search space exhausted
+  kStopped,   // visitor returned false (limit reached)
+  kTimedOut,  // deadline expired
+};
+
+// State shared with the visitor. `mapping[u]` / `position[u]` are the data
+// vertex / candidate position assigned to query vertex u (valid for all
+// step vertices when the visitor runs); `used[v]` counts how many query
+// vertices currently occupy data vertex v.
+struct EnumeratorState {
+  Embedding mapping;
+  std::vector<uint32_t> position;
+  std::vector<uint32_t> used;
+
+  // Search-effort counters (candidates examined / successfully bound).
+  uint64_t candidates_tried = 0;
+  uint64_t candidates_bound = 0;
+
+  EnumeratorState(uint32_t query_vertices, uint32_t data_vertices)
+      : mapping(query_vertices, kInvalidVertex),
+        position(query_vertices, 0),
+        used(data_vertices, 0) {}
+};
+
+// Enumerates all embeddings of the step-covered query vertices; calls
+// `visit()` once per embedding (state holds the mapping); visit returns
+// false to stop. Steps must be non-empty and connected (each step's parent
+// already matched).
+template <typename Visitor>
+EnumerateStatus EnumeratePartial(const Graph& data, const Cpi& cpi,
+                                 std::span<const MatchStep> steps,
+                                 EnumeratorState& state, Deadline& deadline,
+                                 Visitor&& visit) {
+  const size_t depth_count = steps.size();
+  // Per-depth cursor into the candidate source.
+  std::vector<uint32_t> cursor(depth_count, 0);
+
+  auto unbind = [&](size_t d) {
+    VertexId u = steps[d].u;
+    --state.used[state.mapping[u]];
+    state.mapping[u] = kInvalidVertex;
+  };
+
+  size_t depth = 0;
+  cursor[0] = 0;
+  while (true) {
+    if (deadline.ExpiredCoarse()) {
+      // Unwind bindings so `state.used` is clean for the caller.
+      for (size_t d = 0; d < depth; ++d) unbind(d);
+      return EnumerateStatus::kTimedOut;
+    }
+
+    const MatchStep& step = steps[depth];
+    // Candidate source: root iterates its whole candidate set; everyone
+    // else follows the CPI adjacency list under the parent's mapping.
+    std::span<const uint32_t> adjacent;
+    uint32_t root_count = 0;
+    const bool is_root = (depth == 0 && step.parent == kInvalidVertex);
+    if (is_root) {
+      root_count = static_cast<uint32_t>(cpi.Candidates(step.u).size());
+    } else {
+      adjacent = cpi.AdjacentPositions(step.u, state.position[step.parent]);
+    }
+    const uint32_t limit =
+        is_root ? root_count : static_cast<uint32_t>(adjacent.size());
+
+    bool bound = false;
+    while (cursor[depth] < limit) {
+      uint32_t pos = is_root ? cursor[depth] : adjacent[cursor[depth]];
+      ++cursor[depth];
+      ++state.candidates_tried;
+      VertexId v = cpi.CandidateAt(step.u, pos);
+      if (state.used[v] >= data.multiplicity(v)) continue;
+      bool ok = true;
+      for (VertexId w : step.backward) {
+        if (!data.HasEdge(state.mapping[w], v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      state.mapping[step.u] = v;
+      state.position[step.u] = pos;
+      ++state.used[v];
+      ++state.candidates_bound;
+      bound = true;
+      break;
+    }
+
+    if (!bound) {
+      if (depth == 0) return EnumerateStatus::kDone;
+      --depth;
+      unbind(depth);
+      continue;
+    }
+
+    if (depth + 1 == depth_count) {
+      bool keep_going = visit();
+      unbind(depth);  // retry next candidate at this depth
+      if (!keep_going) {
+        for (size_t d = 0; d < depth; ++d) unbind(d);
+        return EnumerateStatus::kStopped;
+      }
+      continue;
+    }
+
+    ++depth;
+    cursor[depth] = 0;
+  }
+}
+
+}  // namespace cfl
+
+#endif  // CFL_MATCH_ENUMERATOR_H_

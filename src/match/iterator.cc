@@ -1,0 +1,269 @@
+#include "match/iterator.h"
+
+#include <cassert>
+
+#include "cpi/candidate_filter.h"
+#include "cpi/cpi_builder.h"
+#include "cpi/root_select.h"
+#include "decomp/cfl_decomposition.h"
+#include "decomp/two_core.h"
+
+namespace cfl {
+
+// ---- StepEnumerator -------------------------------------------------------
+
+StepEnumerator::StepEnumerator(const Graph& data, const Cpi& cpi,
+                               const std::vector<MatchStep>& steps,
+                               EnumeratorState* state)
+    : data_(data),
+      cpi_(cpi),
+      steps_(steps),
+      state_(state),
+      cursor_(steps.size(), 0) {}
+
+void StepEnumerator::Abort() {
+  for (size_t d = 0; d < bound_; ++d) {
+    VertexId u = steps_[d].u;
+    --state_->used[state_->mapping[u]];
+    state_->mapping[u] = kInvalidVertex;
+  }
+  bound_ = 0;
+  exhausted_ = true;
+}
+
+bool StepEnumerator::Next() {
+  if (exhausted_) return false;
+  const size_t n = steps_.size();
+  if (n == 0) {  // vacuous step list: one empty binding
+    exhausted_ = true;
+    return true;
+  }
+
+  size_t depth;
+  if (bound_ == n) {
+    // Resume: release the deepest binding and search onward from its cursor.
+    depth = n - 1;
+    VertexId u = steps_[depth].u;
+    --state_->used[state_->mapping[u]];
+    state_->mapping[u] = kInvalidVertex;
+    bound_ = depth;
+  } else {
+    assert(bound_ == 0);
+    depth = 0;
+    cursor_[0] = 0;
+  }
+
+  while (true) {
+    const MatchStep& step = steps_[depth];
+    const bool is_root = (depth == 0 && step.parent == kInvalidVertex);
+    std::span<const uint32_t> adjacent;
+    uint32_t limit;
+    if (is_root) {
+      limit = static_cast<uint32_t>(cpi_.Candidates(step.u).size());
+    } else {
+      adjacent = cpi_.AdjacentPositions(step.u, state_->position[step.parent]);
+      limit = static_cast<uint32_t>(adjacent.size());
+    }
+
+    bool bound_here = false;
+    while (cursor_[depth] < limit) {
+      uint32_t pos = is_root ? cursor_[depth] : adjacent[cursor_[depth]];
+      ++cursor_[depth];
+      VertexId v = cpi_.CandidateAt(step.u, pos);
+      if (state_->used[v] >= data_.multiplicity(v)) continue;
+      bool ok = true;
+      for (VertexId w : step.backward) {
+        if (!data_.HasEdge(state_->mapping[w], v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      state_->mapping[step.u] = v;
+      state_->position[step.u] = pos;
+      ++state_->used[v];
+      bound_here = true;
+      break;
+    }
+
+    if (bound_here) {
+      bound_ = depth + 1;
+      if (bound_ == n) return true;
+      ++depth;
+      cursor_[depth] = 0;
+      continue;
+    }
+    if (depth == 0) {
+      bound_ = 0;
+      exhausted_ = true;
+      return false;
+    }
+    --depth;
+    VertexId u = steps_[depth].u;
+    --state_->used[state_->mapping[u]];
+    state_->mapping[u] = kInvalidVertex;
+    bound_ = depth;
+  }
+}
+
+// ---- LeafEnumerator -------------------------------------------------------
+
+LeafEnumerator::LeafEnumerator(const Graph& data, const Cpi& cpi,
+                               const std::vector<VertexId>& leaves,
+                               EnumeratorState* state)
+    : data_(data),
+      cpi_(cpi),
+      leaves_(leaves),
+      state_(state),
+      cursor_(leaves.size(), 0),
+      exhausted_(true) {}
+
+void LeafEnumerator::Abort() {
+  for (size_t d = 0; d < bound_; ++d) {
+    VertexId u = leaves_[d];
+    --state_->used[state_->mapping[u]];
+    state_->mapping[u] = kInvalidVertex;
+  }
+  bound_ = 0;
+  exhausted_ = true;
+}
+
+void LeafEnumerator::Reset() {
+  Abort();
+  exhausted_ = false;
+}
+
+bool LeafEnumerator::Next() {
+  if (exhausted_) return false;
+  const size_t n = leaves_.size();
+  if (n == 0) {  // no leaves: one vacuous completion per Reset
+    exhausted_ = true;
+    return true;
+  }
+
+  size_t depth;
+  if (bound_ == n) {
+    depth = n - 1;
+    VertexId u = leaves_[depth];
+    --state_->used[state_->mapping[u]];
+    state_->mapping[u] = kInvalidVertex;
+    bound_ = depth;
+  } else {
+    assert(bound_ == 0);
+    depth = 0;
+    cursor_[0] = 0;
+  }
+
+  while (true) {
+    VertexId u = leaves_[depth];
+    VertexId parent = cpi_.tree().parent[u];
+    std::span<const uint32_t> adjacent =
+        cpi_.AdjacentPositions(u, state_->position[parent]);
+
+    bool bound_here = false;
+    while (cursor_[depth] < adjacent.size()) {
+      uint32_t pos = adjacent[cursor_[depth]++];
+      VertexId v = cpi_.CandidateAt(u, pos);
+      if (state_->used[v] >= data_.multiplicity(v)) continue;
+      state_->mapping[u] = v;
+      ++state_->used[v];
+      bound_here = true;
+      break;
+    }
+    if (bound_here) {
+      bound_ = depth + 1;
+      if (bound_ == n) return true;
+      ++depth;
+      cursor_[depth] = 0;
+      continue;
+    }
+    if (depth == 0) {
+      bound_ = 0;
+      exhausted_ = true;
+      return false;
+    }
+    --depth;
+    VertexId w = leaves_[depth];
+    --state_->used[state_->mapping[w]];
+    state_->mapping[w] = kInvalidVertex;
+    bound_ = depth;
+  }
+}
+
+// ---- EmbeddingIterator ------------------------------------------------------
+
+struct EmbeddingIterator::Pipeline {
+  Cpi cpi;
+  MatchingOrder order;
+  EnumeratorState state;
+  StepEnumerator steps;
+  LeafEnumerator leaves;
+  bool inner_active = false;
+  bool dead = false;  // empty candidate set: no embeddings at all
+
+  Pipeline(const Graph& data, Cpi built_cpi, MatchingOrder built_order)
+      : cpi(std::move(built_cpi)),
+        order(std::move(built_order)),
+        state(static_cast<uint32_t>(cpi.tree().parent.size()),
+              data.NumVertices()),
+        steps(data, cpi, order.steps, &state),
+        leaves(data, cpi, order.leaves, &state) {}
+};
+
+EmbeddingIterator::~EmbeddingIterator() = default;
+EmbeddingIterator::EmbeddingIterator(EmbeddingIterator&&) noexcept = default;
+EmbeddingIterator& EmbeddingIterator::operator=(EmbeddingIterator&&) noexcept =
+    default;
+
+EmbeddingIterator::EmbeddingIterator(const Graph& data, const Graph& query) {
+  // Front half of CflMatcher::Match: decomposition, root, CPI, order.
+  std::vector<VertexId> core = TwoCoreVertices(query);
+  std::vector<VertexId> choices = core;
+  if (choices.empty()) {
+    for (VertexId u = 0; u < query.NumVertices(); ++u) choices.push_back(u);
+  }
+  LabelDegreeIndex index(data);
+  VertexId root = SelectRoot(query, data, index, choices);
+  CflDecomposition decomposition = DecomposeCfl(query, root);
+  BfsTree tree = BuildBfsTree(query, root);
+  Cpi cpi = BuildCpi(query, data, tree);
+  bool dead = cpi.HasEmptyCandidateSet();
+  MatchingOrder order =
+      dead ? MatchingOrder{}
+           : ComputeMatchingOrder(query, cpi, decomposition,
+                                  DecompositionMode::kCfl);
+  if (dead) {
+    // Give the dead pipeline one unmatchable step so Next() terminates
+    // immediately (empty candidate list for the root).
+    MatchStep step;
+    step.u = root;
+    order.steps.push_back(step);
+  }
+  p_ = std::make_unique<Pipeline>(data, std::move(cpi), std::move(order));
+  p_->dead = dead;
+}
+
+bool EmbeddingIterator::Next(Embedding* out) {
+  if (exhausted_ || p_->dead) {
+    exhausted_ = true;
+    return false;
+  }
+  while (true) {
+    if (!p_->inner_active) {
+      if (!p_->steps.Next()) {
+        exhausted_ = true;
+        return false;
+      }
+      p_->leaves.Reset();
+      p_->inner_active = true;
+    }
+    if (p_->leaves.Next()) {
+      *out = p_->state.mapping;
+      ++produced_;
+      return true;
+    }
+    p_->inner_active = false;
+  }
+}
+
+}  // namespace cfl

@@ -1,0 +1,111 @@
+// Pull-based embedding iteration.
+//
+// Paper Algorithm 1 remark: "each time when we invoke Core-Match or
+// Forest-Match or Leaf-Match, it returns the next embedding; that is, to
+// save memory space, only one embedding is generated each time."
+// `EmbeddingIterator` exposes exactly that protocol as a public API: the
+// whole CFL pipeline (decomposition, CPI, ordering) runs once up front,
+// after which each Next() resumes the backtracking search just far enough
+// to produce one more embedding. Nothing is ever materialized beyond the
+// O(|V(q)|) search state.
+//
+//   cfl::EmbeddingIterator it(data, query);
+//   cfl::Embedding m;
+//   while (it.Next(&m)) Use(m);
+//
+// The iterator is single-pass and move-only. For bulk counting prefer
+// CflMatcher::Match (it counts leaf Cartesian products without expanding
+// them); the iterator necessarily expands every assignment.
+
+#ifndef CFL_MATCH_ITERATOR_H_
+#define CFL_MATCH_ITERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpi/cpi.h"
+#include "graph/graph.h"
+#include "match/embedding.h"
+#include "match/enumerator.h"
+#include "order/matching_order.h"
+
+namespace cfl {
+
+// Resumable backtracking over a step sequence (core + forest): each
+// Next() leaves the steps' bindings in `state` and returns true, or returns
+// false (with clean state) when the space is exhausted.
+class StepEnumerator {
+ public:
+  // All referees must outlive the enumerator. `state` is shared with any
+  // nested enumerators (the leaf stage).
+  StepEnumerator(const Graph& data, const Cpi& cpi,
+                 const std::vector<MatchStep>& steps, EnumeratorState* state);
+
+  bool Next();
+
+  // Releases any held bindings (called automatically on exhaustion).
+  void Abort();
+
+ private:
+  const Graph& data_;
+  const Cpi& cpi_;
+  const std::vector<MatchStep>& steps_;
+  EnumeratorState* state_;
+  std::vector<uint32_t> cursor_;
+  // Number of currently-bound steps; search resumes from here.
+  size_t bound_ = 0;
+  bool exhausted_ = false;
+};
+
+// Resumable backtracking over the leaf vertices, candidates drawn from the
+// CPI adjacency under each leaf's (already bound) parent.
+class LeafEnumerator {
+ public:
+  LeafEnumerator(const Graph& data, const Cpi& cpi,
+                 const std::vector<VertexId>& leaves, EnumeratorState* state);
+
+  // Re-arms the enumerator for the current core/forest binding.
+  void Reset();
+
+  bool Next();
+
+  void Abort();
+
+ private:
+  const Graph& data_;
+  const Cpi& cpi_;
+  const std::vector<VertexId>& leaves_;
+  EnumeratorState* state_;
+  std::vector<uint32_t> cursor_;
+  size_t bound_ = 0;
+  bool exhausted_ = false;
+};
+
+// The full pipeline as a single-pass iterator.
+class EmbeddingIterator {
+ public:
+  // Runs decomposition, root selection, CPI construction, and ordering for
+  // `query` over `data`; both must outlive the iterator.
+  EmbeddingIterator(const Graph& data, const Graph& query);
+  ~EmbeddingIterator();
+
+  EmbeddingIterator(EmbeddingIterator&&) noexcept;
+  EmbeddingIterator& operator=(EmbeddingIterator&&) noexcept;
+
+  // Copies the next embedding into *out; false when exhausted.
+  bool Next(Embedding* out);
+
+  // Embeddings produced so far.
+  uint64_t produced() const { return produced_; }
+
+ private:
+  struct Pipeline;  // owns cpi/order/state/enumerators
+  std::unique_ptr<Pipeline> p_;
+  uint64_t produced_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace cfl
+
+#endif  // CFL_MATCH_ITERATOR_H_

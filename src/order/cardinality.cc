@@ -1,0 +1,65 @@
+#include "order/cardinality.h"
+
+#include <cassert>
+#include <functional>
+
+namespace cfl {
+
+std::vector<double> PathSuffixCardinalities(const Cpi& cpi,
+                                            const std::vector<VertexId>& path) {
+  assert(!path.empty());
+  const size_t k = path.size();
+  std::vector<double> suffix(k, 0.0);
+
+  // counts[pos] = number of suffix embeddings mapping path[i] to its
+  // candidate at `pos`.
+  std::vector<double> counts(cpi.Candidates(path[k - 1]).size(), 1.0);
+  suffix[k - 1] = static_cast<double>(counts.size());
+
+  for (size_t i = k - 1; i-- > 0;) {
+    const VertexId u = path[i];
+    const VertexId child = path[i + 1];
+    std::vector<double> next(cpi.Candidates(u).size(), 0.0);
+    double total = 0.0;
+    for (uint32_t p = 0; p < next.size(); ++p) {
+      double c = 0.0;
+      for (uint32_t cp : cpi.AdjacentPositions(child, p)) c += counts[cp];
+      next[p] = c;
+      total += c;
+    }
+    counts = std::move(next);
+    suffix[i] = total;
+  }
+  return suffix;
+}
+
+double TreeCardinality(const Cpi& cpi, VertexId root,
+                       const std::vector<bool>& include) {
+  const BfsTree& tree = cpi.tree();
+
+  // Post-order DP: per candidate of u, the number of embeddings of the
+  // included subtree under u with u mapped there.
+  std::function<std::vector<double>(VertexId)> solve =
+      [&](VertexId u) -> std::vector<double> {
+    std::vector<double> counts(cpi.Candidates(u).size(), 1.0);
+    for (VertexId child : tree.children[u]) {
+      if (!include[child]) continue;
+      std::vector<double> child_counts = solve(child);
+      for (uint32_t p = 0; p < counts.size(); ++p) {
+        double c = 0.0;
+        for (uint32_t cp : cpi.AdjacentPositions(child, p)) {
+          c += child_counts[cp];
+        }
+        counts[p] *= c;
+      }
+    }
+    return counts;
+  };
+
+  std::vector<double> root_counts = solve(root);
+  double total = 0.0;
+  for (double c : root_counts) total += c;
+  return total;
+}
+
+}  // namespace cfl

@@ -1,0 +1,39 @@
+// Embedding-count estimation over the CPI (paper Section 4.2.1,
+// "Estimate c(pi)").
+//
+// For a root-to-leaf query path pi, c(pi) is the number of embeddings of pi
+// present in the CPI, computed exactly by bottom-up dynamic programming over
+// the CPI adjacency lists: c_u(v) = sum over v' in N_u'^u(v) of c_u'(v'),
+// with c = 1 at the path's last vertex. The same DP generalizes to whole
+// trees (used to order the connected trees of the forest-structure in
+// Section 4.3) via a product over children.
+//
+// Counts are doubles: they are only compared/divided for ordering, and real
+// counts can overflow 64-bit integers on dense graphs.
+
+#ifndef CFL_ORDER_CARDINALITY_H_
+#define CFL_ORDER_CARDINALITY_H_
+
+#include <vector>
+
+#include "cpi/cpi.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+// Per-suffix path cardinalities for `path` (a root-to-leaf path in the CPI's
+// BFS tree, path[i+1] a tree child of path[i]). Returns `suffix` with
+// suffix[i] = c(pi^{path[i]}), the number of CPI embeddings of the suffix of
+// the path starting at path[i]; suffix[0] == c(pi).
+std::vector<double> PathSuffixCardinalities(const Cpi& cpi,
+                                            const std::vector<VertexId>& path);
+
+// Number of CPI embeddings of the BFS subtree rooted at `root` restricted to
+// include[]-vertices (root must be included). Counts tree embeddings only —
+// non-tree edges are ignored, as in the paper's cost model.
+double TreeCardinality(const Cpi& cpi, VertexId root,
+                       const std::vector<bool>& include);
+
+}  // namespace cfl
+
+#endif  // CFL_ORDER_CARDINALITY_H_

@@ -1,0 +1,99 @@
+#include "order/cost_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cfl {
+
+std::vector<MatchStep> StepsFromOrder(const Graph& q,
+                                      const std::vector<VertexId>& order,
+                                      const std::vector<VertexId>& parents) {
+  std::vector<MatchStep> steps;
+  steps.reserve(order.size());
+  std::vector<bool> placed(q.NumVertices(), false);
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    VertexId u = order[i];
+    MatchStep step;
+    step.u = u;
+    step.parent = parents[u];
+    if (i == 0) {
+      if (step.parent != kInvalidVertex) {
+        throw std::invalid_argument("StepsFromOrder: first vertex has parent");
+      }
+    } else if (step.parent == kInvalidVertex || !placed[step.parent]) {
+      throw std::invalid_argument(
+          "StepsFromOrder: parent not placed before child");
+    }
+    for (VertexId w : q.Neighbors(u)) {
+      if (placed[w] && w != step.parent) step.backward.push_back(w);
+    }
+    placed[u] = true;
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+CostModelResult ComputeMatchingCost(const Graph& q, const Graph& data,
+                                    const std::vector<MatchStep>& steps,
+                                    uint64_t max_breadth) {
+  CostModelResult result;
+  if (steps.empty()) return result;
+
+  const uint32_t n = static_cast<uint32_t>(steps.size());
+  // Partial embeddings of the first i steps, stored as flat rows of length i.
+  std::vector<std::vector<VertexId>> current;
+
+  // B_1: candidates of the first vertex are all label matches (the cost
+  // model charges B_1 itself, not a scan of V(G)).
+  for (VertexId v : data.VerticesWithLabel(q.label(steps[0].u))) {
+    current.push_back({v});
+  }
+  result.breadths.push_back(current.size());
+  result.total_cost = current.size();
+
+  // Position of each step's query vertex within the embedding rows.
+  std::unordered_map<VertexId, uint32_t> position;
+  position[steps[0].u] = 0;
+
+  for (uint32_t i = 1; i < n; ++i) {
+    const MatchStep& step = steps[i];
+    const Label want = q.label(step.u);
+    const uint32_t parent_pos = position.at(step.parent);
+    const uint64_t extension_charge = step.backward.size() + 1;  // r_i + 1
+
+    std::vector<std::vector<VertexId>> next;
+    for (const std::vector<VertexId>& m : current) {
+      VertexId parent_v = m[parent_pos];
+      for (VertexId w : data.Neighbors(parent_v)) {
+        if (data.label(w) != want) continue;
+        // d_i^j counts this candidate; each is charged (r_i + 1).
+        result.total_cost += extension_charge;
+        // Extend if injective and all backward edges hold.
+        if (std::find(m.begin(), m.end(), w) != m.end()) continue;
+        bool ok = true;
+        for (VertexId b : step.backward) {
+          if (!data.HasEdge(m[position.at(b)], w)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        if (next.size() >= max_breadth) {
+          result.truncated = true;
+          continue;
+        }
+        std::vector<VertexId> extended = m;
+        extended.push_back(w);
+        next.push_back(std::move(extended));
+      }
+    }
+    position[step.u] = i;
+    current = std::move(next);
+    result.breadths.push_back(current.size());
+    if (result.truncated) break;
+  }
+  return result;
+}
+
+}  // namespace cfl

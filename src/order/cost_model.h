@@ -1,0 +1,53 @@
+// The matching-cost model of paper Section 2.1 (adopted from QuickSI [15]).
+//
+// For a backtracking algorithm following matching order (u_1, ..., u_n) with
+// spanning-tree parents u_i.p:
+//
+//   T_iso = B_1 + sum_{i=2..n} sum_{j=1..B_{i-1}} d_i^j * (r_i + 1)
+//
+// where B_i is the *search breadth* — the number of embeddings in G of the
+// subgraph of q induced by {u_1..u_i} — d_i^j counts the neighbors of
+// M_j(u_i.p) sharing u_i's label, and r_i is the number of non-tree edges
+// from u_i to earlier vertices.
+//
+// This module computes T_iso exactly by level-wise expansion of all partial
+// embeddings. It exists for analysis, tests (the paper's Figure 1 example:
+// 200302 vs 2302), and the ordering-ablation bench — production matching
+// never materializes breadths like this.
+
+#ifndef CFL_ORDER_COST_MODEL_H_
+#define CFL_ORDER_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "order/matching_order.h"
+
+namespace cfl {
+
+struct CostModelResult {
+  uint64_t total_cost = 0;          // T_iso
+  std::vector<uint64_t> breadths;   // B_1 .. B_n
+  bool truncated = false;           // hit the breadth cap; cost is partial
+};
+
+// Evaluates T_iso for `steps` (a connected matching order with per-step
+// parents and backward non-tree edges, as produced by ComputeMatchingOrder
+// or built by StepsFromOrder). Expansion stops once a level would exceed
+// `max_breadth` partial embeddings.
+CostModelResult ComputeMatchingCost(const Graph& q, const Graph& data,
+                                    const std::vector<MatchStep>& steps,
+                                    uint64_t max_breadth = 1'000'000);
+
+// Builds MatchSteps from an explicit vertex order and spanning-tree parent
+// assignment: parents[u] must precede u in `order` (kInvalidVertex for the
+// first vertex); every other earlier query neighbor becomes a backward
+// non-tree edge.
+std::vector<MatchStep> StepsFromOrder(const Graph& q,
+                                      const std::vector<VertexId>& order,
+                                      const std::vector<VertexId>& parents);
+
+}  // namespace cfl
+
+#endif  // CFL_ORDER_COST_MODEL_H_

@@ -1,0 +1,149 @@
+#include "order/matching_order.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "order/cardinality.h"
+#include "order/path_enum.h"
+#include "order/path_order.h"
+
+#include <unordered_set>
+
+namespace cfl {
+
+namespace {
+
+// Appends MatchSteps for `vertices` (in order), deriving each step's
+// backward edges from the query vertices already placed.
+void AppendSteps(const Graph& q, const BfsTree& tree,
+                 const std::vector<VertexId>& vertices,
+                 std::vector<bool>* placed, MatchingOrder* order) {
+  for (VertexId u : vertices) {
+    MatchStep step;
+    step.u = u;
+    step.parent = order->steps.empty() ? kInvalidVertex : tree.parent[u];
+    for (VertexId w : q.Neighbors(u)) {
+      if ((*placed)[w] && w != step.parent) step.backward.push_back(w);
+    }
+    (*placed)[u] = true;
+    order->steps.push_back(std::move(step));
+  }
+}
+
+// Ablation ordering: concatenate paths in discovery order, skipping
+// already-sequenced prefixes. Seeded vertices are treated as placed.
+std::vector<VertexId> OrderPathsNaturally(
+    const std::vector<std::vector<VertexId>>& paths,
+    const std::vector<VertexId>& seed_sequence) {
+  std::vector<VertexId> out;
+  std::unordered_set<VertexId> in_seq(seed_sequence.begin(),
+                                      seed_sequence.end());
+  for (const std::vector<VertexId>& path : paths) {
+    for (VertexId v : path) {
+      if (in_seq.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<VertexId> OrderWith(
+    PathOrderingStrategy strategy, const Cpi& cpi,
+    const std::vector<std::vector<VertexId>>& paths,
+    const std::vector<NonTreeEdge>& non_tree_edges,
+    const std::vector<VertexId>& seed_sequence = {}) {
+  if (strategy == PathOrderingStrategy::kBfsNatural) {
+    return OrderPathsNaturally(paths, seed_sequence);
+  }
+  return OrderPaths(cpi, paths, non_tree_edges, seed_sequence);
+}
+
+}  // namespace
+
+MatchingOrder ComputeMatchingOrder(const Graph& q, const Cpi& cpi,
+                                   const CflDecomposition& decomposition,
+                                   DecompositionMode mode,
+                                   PathOrderingStrategy strategy) {
+  const BfsTree& tree = cpi.tree();
+  const uint32_t n = q.NumVertices();
+  MatchingOrder order;
+  std::vector<bool> placed(n, false);
+
+  if (mode == DecompositionMode::kNone) {
+    // Match variant: one Algorithm-2 ordering over the entire BFS tree.
+    std::vector<bool> all(n, true);
+    std::vector<std::vector<VertexId>> paths =
+        RootToLeafPaths(tree, tree.root, all);
+    std::vector<VertexId> seq =
+        OrderWith(strategy, cpi, paths, tree.non_tree_edges);
+    AppendSteps(q, tree, seq, &placed, &order);
+    order.num_core_steps = static_cast<uint32_t>(order.steps.size());
+    return order;
+  }
+
+  // --- Core-match order -------------------------------------------------
+  std::vector<bool> in_core(n, false);
+  for (VertexId v : decomposition.core) in_core[v] = true;
+  assert(in_core[tree.root]);
+  {
+    std::vector<std::vector<VertexId>> paths =
+        RootToLeafPaths(tree, tree.root, in_core);
+    std::vector<VertexId> seq =
+        OrderWith(strategy, cpi, paths, tree.non_tree_edges);
+    AppendSteps(q, tree, seq, &placed, &order);
+  }
+  order.num_core_steps = static_cast<uint32_t>(order.steps.size());
+
+  // --- Forest-match order -------------------------------------------------
+  // Forest membership; CF-Match folds the leaves into the forest.
+  std::vector<bool> in_forest(n, false);
+  for (VertexId v : decomposition.forest) in_forest[v] = true;
+  if (mode == DecompositionMode::kCoreForest) {
+    for (VertexId v : decomposition.leaf) in_forest[v] = true;
+  }
+
+  // One connected tree per connection vertex; order trees by increasing CPI
+  // embedding count (Section 4.3).
+  struct ForestTree {
+    VertexId connection;
+    double cardinality;
+  };
+  std::vector<ForestTree> trees;
+  for (VertexId c : decomposition.connections) {
+    bool has_forest_child = false;
+    for (VertexId w : tree.children[c]) {
+      if (in_forest[w]) {
+        has_forest_child = true;
+        break;
+      }
+    }
+    if (!has_forest_child) continue;
+    std::vector<bool> include = in_forest;
+    include[c] = true;
+    trees.push_back({c, TreeCardinality(cpi, c, include)});
+  }
+  std::sort(trees.begin(), trees.end(),
+            [](const ForestTree& a, const ForestTree& b) {
+              return a.cardinality < b.cardinality ||
+                     (a.cardinality == b.cardinality &&
+                      a.connection < b.connection);
+            });
+
+  for (const ForestTree& ft : trees) {
+    std::vector<bool> include = in_forest;
+    include[ft.connection] = true;
+    std::vector<std::vector<VertexId>> paths =
+        RootToLeafPaths(tree, ft.connection, include);
+    std::vector<VertexId> seq = OrderWith(strategy, cpi, paths,
+                                          tree.non_tree_edges,
+                                          {ft.connection});
+    AppendSteps(q, tree, seq, &placed, &order);
+  }
+
+  // --- Leaf-match -----------------------------------------------------
+  if (mode == DecompositionMode::kCfl) {
+    order.leaves = decomposition.leaf;
+  }
+  return order;
+}
+
+}  // namespace cfl

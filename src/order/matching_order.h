@@ -1,0 +1,65 @@
+// Assembly of the complete matching order for the backtracking enumerator.
+//
+// Combines the CFL decomposition's macro order (V_C, V_T, V_I) with the
+// greedy path ordering of Algorithm 2:
+//   * core steps: paths of the BFS tree restricted to the core-set, ordered
+//     by Algorithm 2 using all non-tree edges (Section 4.2.1);
+//   * forest steps: the connected trees of the forest-structure ordered by
+//     increasing CPI embedding count, each tree's paths then ordered by
+//     Algorithm 2 (Section 4.3); leaf vertices excluded;
+//   * leaf vertices: listed separately, handled by leaf-match (Section 4.4).
+//
+// The Match / CF-Match ablation variants of Section 6 reuse the same
+// machinery with decomposition disabled or truncated.
+
+#ifndef CFL_ORDER_MATCHING_ORDER_H_
+#define CFL_ORDER_MATCHING_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cpi/cpi.h"
+#include "decomp/cfl_decomposition.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+// How much of the CFL framework to apply (paper Section 6 variants).
+enum class DecompositionMode {
+  kCfl,         // CFL-Match: core, then forest, then leaf-match
+  kCoreForest,  // CF-Match: core, then forest including the leaves
+  kNone,        // Match: one ordering over the whole query
+};
+
+struct MatchStep {
+  VertexId u = kInvalidVertex;
+  // BFS-tree parent; kInvalidVertex for the first step (the root).
+  VertexId parent = kInvalidVertex;
+  // Query neighbors of u earlier in the order, other than `parent`; these
+  // are exactly u's backward non-tree edges, validated against the data
+  // graph during enumeration (Algorithm 5's ValidateNT).
+  std::vector<VertexId> backward;
+};
+
+struct MatchingOrder {
+  std::vector<MatchStep> steps;  // backtracking order over V_C then V_T
+  uint32_t num_core_steps = 0;   // prefix of `steps` that is core-match
+  std::vector<VertexId> leaves;  // V_I, for the leaf-match stage
+};
+
+// How root-to-leaf paths are sequenced within each substructure.
+enum class PathOrderingStrategy {
+  // Algorithm 2: greedy, cost-model-driven (the paper's ordering).
+  kGreedyCost,
+  // Ablation: paths in plain BFS discovery order, no cost model.
+  kBfsNatural,
+};
+
+MatchingOrder ComputeMatchingOrder(
+    const Graph& q, const Cpi& cpi, const CflDecomposition& decomposition,
+    DecompositionMode mode,
+    PathOrderingStrategy strategy = PathOrderingStrategy::kGreedyCost);
+
+}  // namespace cfl
+
+#endif  // CFL_ORDER_MATCHING_ORDER_H_

@@ -1,0 +1,35 @@
+#include "order/path_enum.h"
+
+#include <cassert>
+
+namespace cfl {
+
+std::vector<std::vector<VertexId>> RootToLeafPaths(
+    const BfsTree& tree, VertexId start, const std::vector<bool>& include) {
+  assert(include[start]);
+  std::vector<std::vector<VertexId>> paths;
+  // Iterative DFS carrying the current path.
+  std::vector<VertexId> path;
+  // Stack of (vertex, depth in path).
+  std::vector<std::pair<VertexId, uint32_t>> stack;
+  stack.emplace_back(start, 0);
+  while (!stack.empty()) {
+    auto [u, depth] = stack.back();
+    stack.pop_back();
+    path.resize(depth);
+    path.push_back(u);
+    bool has_child = false;
+    // Push children in reverse so paths come out in ascending child order.
+    const std::vector<VertexId>& kids = tree.children[u];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      if (include[*it]) {
+        stack.emplace_back(*it, depth + 1);
+        has_child = true;
+      }
+    }
+    if (!has_child) paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace cfl

@@ -1,0 +1,28 @@
+// Root-to-leaf path enumeration over (restrictions of) the query BFS tree.
+//
+// The matching-order selection (paper Section 4.2.1) operates on the set of
+// root-to-leaf paths of the BFS tree. Core-match uses the tree restricted to
+// the core-set; forest-match uses each forest tree restricted to the
+// forest-set plus its connection-vertex root.
+
+#ifndef CFL_ORDER_PATH_ENUM_H_
+#define CFL_ORDER_PATH_ENUM_H_
+
+#include <vector>
+
+#include "decomp/bfs_tree.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+// All root-to-leaf paths of the BFS tree restricted to vertices with
+// include[v] == true, starting from `start` (which must be included and
+// whose included ancestors, if any, are not considered). A vertex is a leaf
+// of the restriction if it has no included children. If `start` has no
+// included children the single path {start} is returned.
+std::vector<std::vector<VertexId>> RootToLeafPaths(
+    const BfsTree& tree, VertexId start, const std::vector<bool>& include);
+
+}  // namespace cfl
+
+#endif  // CFL_ORDER_PATH_ENUM_H_

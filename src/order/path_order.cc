@@ -1,0 +1,93 @@
+#include "order/path_order.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_set>
+
+#include "order/cardinality.h"
+
+namespace cfl {
+
+std::vector<VertexId> OrderPaths(
+    const Cpi& cpi, const std::vector<std::vector<VertexId>>& paths,
+    const std::vector<NonTreeEdge>& non_tree_edges,
+    const std::vector<VertexId>& seed_sequence) {
+  assert(!paths.empty());
+
+  // Suffix cardinalities per path, computed once (the CPI is immutable).
+  std::vector<std::vector<double>> suffix(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    suffix[i] = PathSuffixCardinalities(cpi, paths[i]);
+  }
+
+  std::unordered_set<VertexId> in_seq(seed_sequence.begin(),
+                                      seed_sequence.end());
+  std::vector<VertexId> out;
+  std::vector<bool> used(paths.size(), false);
+  size_t remaining = paths.size();
+
+  // First path (only when nothing is seeded): argmin c(pi) / |NT(pi)|,
+  // where NT(pi) counts non-tree edges incident to pi's vertices
+  // (Algorithm 2 line 2). Guard |NT| >= 1 for non-tree-free path sets.
+  if (in_seq.empty()) {
+    size_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < paths.size(); ++i) {
+      std::unordered_set<VertexId> on_path(paths[i].begin(), paths[i].end());
+      uint32_t nt = 0;
+      for (const NonTreeEdge& e : non_tree_edges) {
+        if (on_path.count(e.u) || on_path.count(e.v)) ++nt;
+      }
+      double score = suffix[i][0] / std::max<uint32_t>(1, nt);
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    for (VertexId v : paths[best]) {
+      out.push_back(v);
+      in_seq.insert(v);
+    }
+    used[best] = true;
+    --remaining;
+  }
+
+  // Subsequent paths: argmin c(pi^u) / |u.C| with u = pi.p, the deepest
+  // vertex pi shares with the sequence (Algorithm 2 lines 4-6).
+  while (remaining > 0) {
+    size_t best = paths.size();
+    size_t best_connect = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < paths.size(); ++i) {
+      if (used[i]) continue;
+      // Paths share prefixes with the sequence; walk to the last shared.
+      size_t connect = 0;
+      while (connect + 1 < paths[i].size() &&
+             in_seq.count(paths[i][connect + 1])) {
+        ++connect;
+      }
+      assert(in_seq.count(paths[i][connect]));
+      VertexId u = paths[i][connect];
+      double denom =
+          std::max<size_t>(1, cpi.Candidates(u).size());
+      double score = suffix[i][connect] / denom;
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+        best_connect = connect;
+      }
+    }
+    assert(best < paths.size());
+    for (size_t j = best_connect + 1; j < paths[best].size(); ++j) {
+      out.push_back(paths[best][j]);
+      in_seq.insert(paths[best][j]);
+    }
+    used[best] = true;
+    --remaining;
+  }
+
+  return out;
+}
+
+}  // namespace cfl

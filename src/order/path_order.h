@@ -1,0 +1,34 @@
+// Greedy path ordering (paper Algorithm 2, "Matching-Order").
+//
+// Given the root-to-leaf paths of (a restriction of) the query BFS tree and
+// the CPI, produce the matching order of the covered query vertices:
+//   * the first path minimizes c(pi) / |NT(pi)| — its CPI embedding count
+//     discounted by the number of non-tree edges touching it (more non-tree
+//     edges means more pruning power early);
+//   * each subsequent path minimizes c(pi^u) / |u.C| where u = pi.p is the
+//     path's connection vertex to the already-ordered sequence — i.e., the
+//     expected number of extensions per existing partial embedding.
+
+#ifndef CFL_ORDER_PATH_ORDER_H_
+#define CFL_ORDER_PATH_ORDER_H_
+
+#include <vector>
+
+#include "cpi/cpi.h"
+#include "decomp/bfs_tree.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+// Orders the vertices covered by `paths` (all sharing their first vertex).
+// If `seed_sequence` is non-empty, those vertices are treated as already
+// matched (used when ordering a forest tree whose connection vertex was
+// matched by core-match); they are not re-emitted in the result.
+std::vector<VertexId> OrderPaths(
+    const Cpi& cpi, const std::vector<std::vector<VertexId>>& paths,
+    const std::vector<NonTreeEdge>& non_tree_edges,
+    const std::vector<VertexId>& seed_sequence = {});
+
+}  // namespace cfl
+
+#endif  // CFL_ORDER_PATH_ORDER_H_

@@ -1,0 +1,77 @@
+#include "order/quicksi_order.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cfl {
+
+std::vector<QuickSiStep> ComputeQiSequence(const Graph& q, const Graph& data,
+                                           const LabelPairFrequency& freq) {
+  const uint32_t n = q.NumVertices();
+  std::vector<QuickSiStep> seq;
+  seq.reserve(n);
+  std::vector<bool> placed(n, false);
+
+  // Weight of a query edge: frequency of its label pair among data edges.
+  auto edge_weight = [&](VertexId a, VertexId b) {
+    return freq.Frequency(q.label(a), q.label(b));
+  };
+
+  // Start from the endpoint of the globally lightest edge whose own label is
+  // rarer in the data graph (infrequent-first).
+  VertexId start = 0;
+  {
+    uint64_t best_w = std::numeric_limits<uint64_t>::max();
+    VertexId best_a = 0, best_b = 0;
+    for (VertexId a = 0; a < n; ++a) {
+      for (VertexId b : q.Neighbors(a)) {
+        if (b < a) continue;
+        uint64_t w = edge_weight(a, b);
+        if (w < best_w) {
+          best_w = w;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    start = data.LabelFrequency(q.label(best_a)) <=
+                    data.LabelFrequency(q.label(best_b))
+                ? best_a
+                : best_b;
+  }
+
+  // Prim-style growth: repeatedly take the lightest edge from the placed set
+  // to an unplaced vertex.
+  {
+    QuickSiStep step;
+    step.u = start;
+    placed[start] = true;
+    seq.push_back(std::move(step));
+  }
+  while (seq.size() < n) {
+    uint64_t best_w = std::numeric_limits<uint64_t>::max();
+    VertexId best_u = kInvalidVertex, best_p = kInvalidVertex;
+    for (const QuickSiStep& s : seq) {
+      for (VertexId w : q.Neighbors(s.u)) {
+        if (placed[w]) continue;
+        uint64_t wt = edge_weight(s.u, w);
+        if (wt < best_w || (wt == best_w && w < best_u)) {
+          best_w = wt;
+          best_u = w;
+          best_p = s.u;
+        }
+      }
+    }
+    QuickSiStep step;
+    step.u = best_u;
+    step.parent = best_p;
+    for (VertexId w : q.Neighbors(best_u)) {
+      if (placed[w] && w != best_p) step.backward.push_back(w);
+    }
+    placed[best_u] = true;
+    seq.push_back(std::move(step));
+  }
+  return seq;
+}
+
+}  // namespace cfl

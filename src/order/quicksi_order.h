@@ -1,0 +1,36 @@
+// QuickSI's QI-sequence ordering (Shang et al., PVLDB 2008; paper [15]).
+//
+// QuickSI orders query vertices along a spanning tree chosen to visit
+// infrequent structures first: edge weights are the data-graph frequencies
+// of the edge's label pair, a minimum spanning tree is grown Prim-style
+// starting from the lightest edge, and the visit order of the tree is the
+// matching order. Non-tree edges are checked as soon as both endpoints are
+// matched. This module computes the order; the matching itself lives in
+// baseline/quicksi.h.
+
+#ifndef CFL_ORDER_QUICKSI_ORDER_H_
+#define CFL_ORDER_QUICKSI_ORDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_stats.h"
+
+namespace cfl {
+
+struct QuickSiStep {
+  VertexId u = kInvalidVertex;
+  VertexId parent = kInvalidVertex;       // spanning-tree parent
+  std::vector<VertexId> backward;         // earlier neighbors besides parent
+};
+
+// Computes the QI-sequence of `q` against the data graph summarized by
+// `freq` (label-pair edge frequencies) and `vertex_freq` (label
+// frequencies, used to pick the starting vertex).
+std::vector<QuickSiStep> ComputeQiSequence(const Graph& q,
+                                           const Graph& data,
+                                           const LabelPairFrequency& freq);
+
+}  // namespace cfl
+
+#endif  // CFL_ORDER_QUICKSI_ORDER_H_

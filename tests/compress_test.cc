@@ -1,0 +1,104 @@
+// Tests for the structural-equivalence data-graph compression of [14].
+
+#include "baseline/compress.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace cfl {
+namespace {
+
+TEST(CompressTest, NonAdjacentTwinsMerge) {
+  // v1, v2: label 1, both adjacent exactly to {v0, v3}.
+  Graph g = MakeGraph({0, 1, 1, 2}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  CompressedGraph cg = CompressBySE(g);
+  EXPECT_EQ(cg.graph.NumVertices(), 3u);
+  EXPECT_EQ(cg.original_vertices, 4u);
+  EXPECT_EQ(cg.class_of[1], cg.class_of[2]);
+  VertexId h = cg.class_of[1];
+  EXPECT_EQ(cg.graph.multiplicity(h), 2u);
+  EXPECT_FALSE(cg.graph.HasEdge(h, h));  // non-adjacent twins: no self-loop
+  EXPECT_NEAR(cg.CompressionRatio(), 0.25, 1e-9);
+}
+
+TEST(CompressTest, AdjacentTwinsMergeWithSelfLoop) {
+  // Triangle of label-1 vertices all adjacent to v0: N(v) u {v} coincide.
+  Graph g = MakeGraph({0, 1, 1, 1},
+                      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  CompressedGraph cg = CompressBySE(g);
+  EXPECT_EQ(cg.graph.NumVertices(), 2u);
+  VertexId h = cg.class_of[1];
+  EXPECT_EQ(cg.class_of[2], h);
+  EXPECT_EQ(cg.class_of[3], h);
+  EXPECT_EQ(cg.graph.multiplicity(h), 3u);
+  EXPECT_TRUE(cg.graph.HasEdge(h, h));  // clique class: self-loop
+}
+
+TEST(CompressTest, DifferentLabelsNeverMerge) {
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}});
+  CompressedGraph cg = CompressBySE(g);
+  EXPECT_EQ(cg.graph.NumVertices(), 3u);
+  EXPECT_EQ(cg.CompressionRatio(), 0.0);
+}
+
+TEST(CompressTest, ExpandedStatisticsPreserved) {
+  SyntheticOptions options;
+  options.num_vertices = 30;
+  options.average_degree = 3.0;
+  options.num_labels = 3;
+  options.seed = 7;
+  Graph base = MakeSynthetic(options);
+  Graph g = AddTwinVertices(base, 20, 0.4, 123);
+
+  CompressedGraph cg = CompressBySE(g);
+  EXPECT_LT(cg.graph.NumVertices(), g.NumVertices());
+  EXPECT_EQ(cg.graph.EffectiveNumVertices(), g.NumVertices());
+  // Label frequencies in the expanded view must match the original.
+  for (Label l = 0; l < g.NumLabels(); ++l) {
+    EXPECT_EQ(cg.graph.LabelFrequency(l), g.LabelFrequency(l)) << "label " << l;
+  }
+  // Spot-check effective degrees through the class map.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(cg.graph.degree(cg.class_of[v]), g.degree(v)) << "vertex " << v;
+  }
+}
+
+TEST(CompressTest, QueryRestrictionDropsIrrelevantLabels) {
+  // Data has labels 0,1,2; query uses only 0 and 1.
+  Graph g = MakeGraph({0, 1, 2, 2, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  Graph q = MakeGraph({0, 1}, {{0, 1}});
+  CompressedGraph cg = CompressForQuery(g, q);
+  EXPECT_EQ(cg.original_vertices, 3u);  // v0, v1, v4 kept
+  EXPECT_EQ(cg.class_of[2], kInvalidVertex);
+  EXPECT_EQ(cg.class_of[3], kInvalidVertex);
+  for (VertexId v : {0u, 1u, 4u}) {
+    EXPECT_NE(cg.class_of[v], kInvalidVertex) << v;
+  }
+}
+
+TEST(CompressTest, TwinRichGraphCompressesWell) {
+  SyntheticOptions options;
+  options.num_vertices = 100;
+  options.average_degree = 4.0;
+  options.num_labels = 5;
+  options.seed = 21;
+  Graph base = MakeSynthetic(options);
+  Graph g = AddTwinVertices(base, 100, 0.3, 22);
+  CompressedGraph cg = CompressBySE(g);
+  // 100 of 200 vertices are twins; at least a third of the graph must fold.
+  EXPECT_GT(cg.CompressionRatio(), 0.33);
+}
+
+TEST(CompressTest, EmptyRestriction) {
+  Graph g = MakeGraph({0, 0}, {{0, 1}});
+  Graph q = MakeGraph({5, 5}, {{0, 1}});  // label absent from data
+  CompressedGraph cg = CompressForQuery(g, q);
+  EXPECT_EQ(cg.graph.NumVertices(), 0u);
+  EXPECT_EQ(cg.original_vertices, 0u);
+}
+
+}  // namespace
+}  // namespace cfl

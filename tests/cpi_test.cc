@@ -1,0 +1,226 @@
+// Tests for candidate filters, root selection, and CPI construction —
+// including the paper's full Figure 7 construction trace and the soundness
+// property (Lemmas 5.2 / 5.3) on randomized inputs.
+
+#include "cpi/cpi_builder.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cpi/candidate_filter.h"
+#include "cpi/root_select.h"
+#include "decomp/bfs_tree.h"
+#include "gen/query_gen.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace cfl {
+namespace {
+
+using testing::BruteForceEmbeddings;
+using testing::Figure7Data;
+using testing::Figure7Query;
+
+std::vector<VertexId> Sorted(std::vector<VertexId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(CandidateFilterTest, LabelDegreeFilter) {
+  Graph q = Figure7Query();
+  Graph g = Figure7Data();
+  // u1 (B, degree 3): v3 qualifies, v10 (C) has the wrong label.
+  EXPECT_TRUE(LabelDegreeFilter(q, 1, g, 3));
+  EXPECT_FALSE(LabelDegreeFilter(q, 1, g, 10));
+  // u2 (C, degree 3): v10 has degree 3 and label C.
+  EXPECT_TRUE(LabelDegreeFilter(q, 2, g, 10));
+}
+
+TEST(CandidateFilterTest, CandVerifyNlf) {
+  Graph q = Figure7Query();
+  Graph g = Figure7Data();
+  // v10 (C) has no D neighbor, which u2 requires -> CandVerify fails
+  // (exactly the paper's Example 5.1 pruning of v10).
+  EXPECT_FALSE(CandVerify(q, 2, g, 10));
+  EXPECT_TRUE(CandVerify(q, 2, g, 4));
+  EXPECT_TRUE(CandVerify(q, 2, g, 6));
+  EXPECT_TRUE(CandVerify(q, 2, g, 8));
+}
+
+TEST(CandidateFilterTest, MndFilter) {
+  // Query: center 0 with a degree-3 neighbor -> mnd_q(1) = 3. Data vertex
+  // whose neighbors all have degree 1 must fail.
+  Graph q = MakeGraph({0, 1, 2, 2, 2}, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  Graph g = MakeGraph({1, 0, 2, 2, 2}, {{0, 1}, {1, 2}, {1, 3}, {1, 4}});
+  // In q, vertex 1 (label 1) has neighbor 0 with degree 4 -> mnd_q = 4.
+  // In g, vertex 0 (label 1) has neighbor 1 with degree 4 -> passes.
+  EXPECT_TRUE(CandVerify(q, 1, g, 0));
+  // Cross-check the accessor directly.
+  EXPECT_EQ(q.MaxNeighborDegree(1), 4u);
+  EXPECT_EQ(g.MaxNeighborDegree(2), 4u);
+}
+
+TEST(LabelDegreeIndexTest, Counts) {
+  Graph g = Figure7Data();
+  LabelDegreeIndex index(g);
+  // B vertices: v3,v5,v9 have degree 3; v7 has degree 4.
+  EXPECT_EQ(index.CountAtLeast(testing::kB, 3), 4u);
+  EXPECT_EQ(index.CountAtLeast(testing::kB, 4), 1u);
+  EXPECT_EQ(index.CountAtLeast(testing::kB, 5), 0u);
+  // A vertices: v1 (degree 5), v2 (degree 3).
+  EXPECT_EQ(index.CountAtLeast(testing::kA, 1), 2u);
+  EXPECT_EQ(index.CountAtLeast(testing::kA, 4), 1u);
+  EXPECT_EQ(index.CountAtLeast(99, 0), 0u);
+}
+
+TEST(RootSelectTest, PicksU0ForFigure7) {
+  Graph q = Figure7Query();
+  Graph g = Figure7Data();
+  LabelDegreeIndex index(g);
+  std::vector<VertexId> all = {0, 1, 2, 3};
+  EXPECT_EQ(SelectRoot(q, g, index, all), 0u);
+}
+
+class CpiFigure7Test : public ::testing::Test {
+ protected:
+  CpiFigure7Test()
+      : q_(Figure7Query()), g_(Figure7Data()), tree_(BuildBfsTree(q_, 0)) {}
+
+  Graph q_, g_;
+  BfsTree tree_;
+};
+
+TEST_F(CpiFigure7Test, NaiveCandidatesAreLabelSets) {
+  Cpi cpi = BuildCpi(q_, g_, tree_, CpiStrategy::kNaive);
+  EXPECT_EQ(cpi.Candidates(0), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(cpi.Candidates(1), (std::vector<VertexId>{3, 5, 7, 9}));
+  EXPECT_EQ(cpi.Candidates(2), (std::vector<VertexId>{4, 6, 8, 10}));
+  EXPECT_EQ(cpi.Candidates(3), (std::vector<VertexId>{11, 12, 13, 15}));
+}
+
+TEST_F(CpiFigure7Test, TopDownMatchesFigure7d) {
+  // Paper Example 5.1: forward generation gives u1 = {v3,v5,v7,v9} then the
+  // backward pass prunes v9; u2 = {v4,v6,v8} (v10 killed by CandVerify);
+  // u3 = {v11,v12} (v13, v15 lack a neighbor in u2.C / u1.C).
+  Cpi cpi = BuildCpi(q_, g_, tree_, CpiStrategy::kTopDown);
+  EXPECT_EQ(cpi.Candidates(0), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(cpi.Candidates(1), (std::vector<VertexId>{3, 5, 7}));
+  EXPECT_EQ(cpi.Candidates(2), (std::vector<VertexId>{4, 6, 8}));
+  EXPECT_EQ(cpi.Candidates(3), (std::vector<VertexId>{11, 12}));
+}
+
+TEST_F(CpiFigure7Test, RefinedMatchesFigure7e) {
+  // Paper Example 5.2: bottom-up refinement prunes v8 (u2), v7 (u1), v2 (u0).
+  Cpi cpi = BuildCpi(q_, g_, tree_, CpiStrategy::kRefined);
+  EXPECT_EQ(cpi.Candidates(0), (std::vector<VertexId>{1}));
+  EXPECT_EQ(cpi.Candidates(1), (std::vector<VertexId>{3, 5}));
+  EXPECT_EQ(cpi.Candidates(2), (std::vector<VertexId>{4, 6}));
+  EXPECT_EQ(cpi.Candidates(3), (std::vector<VertexId>{11, 12}));
+}
+
+TEST_F(CpiFigure7Test, RefinedAdjacencyLists) {
+  Cpi cpi = BuildCpi(q_, g_, tree_, CpiStrategy::kRefined);
+  // N_{u1}^{u0}(v1) = {v3, v5} — as positions {0, 1} in u1.C.
+  std::span<const uint32_t> adj_u1 = cpi.AdjacentPositions(1, 0);
+  ASSERT_EQ(adj_u1.size(), 2u);
+  EXPECT_EQ(cpi.CandidateAt(1, adj_u1[0]), 3u);
+  EXPECT_EQ(cpi.CandidateAt(1, adj_u1[1]), 5u);
+  // N_{u3}^{u1}(v3) = {v11}; N_{u3}^{u1}(v5) = {v12}.
+  std::span<const uint32_t> adj_v3 = cpi.AdjacentPositions(3, 0);
+  ASSERT_EQ(adj_v3.size(), 1u);
+  EXPECT_EQ(cpi.CandidateAt(3, adj_v3[0]), 11u);
+  std::span<const uint32_t> adj_v5 = cpi.AdjacentPositions(3, 1);
+  ASSERT_EQ(adj_v5.size(), 1u);
+  EXPECT_EQ(cpi.CandidateAt(3, adj_v5[0]), 12u);
+}
+
+TEST_F(CpiFigure7Test, EmptinessDetection) {
+  Cpi cpi = BuildCpi(q_, g_, tree_, CpiStrategy::kRefined);
+  EXPECT_FALSE(cpi.HasEmptyCandidateSet());
+
+  // A query with an impossible label has empty candidates everywhere.
+  Graph impossible = MakeGraph({17, 17}, {{0, 1}});
+  BfsTree t2 = BuildBfsTree(impossible, 0);
+  Cpi cpi2 = BuildCpi(impossible, g_, t2, CpiStrategy::kRefined);
+  EXPECT_TRUE(cpi2.HasEmptyCandidateSet());
+}
+
+TEST_F(CpiFigure7Test, SizeBoundHolds) {
+  // |CPI| = O(|E(G)| * |V(q)|): candidates <= |V(G)| per vertex, adjacency
+  // entries <= 2|E(G)| per tree edge.
+  Cpi cpi = BuildCpi(q_, g_, tree_, CpiStrategy::kNaive);
+  uint64_t bound = static_cast<uint64_t>(q_.NumVertices()) *
+                   (g_.NumVertices() + 2 * g_.NumEdges());
+  EXPECT_LE(cpi.SizeInEntries(), bound);
+  EXPECT_GT(cpi.MemoryBytes(), 0u);
+}
+
+// Soundness (Lemmas 5.2/5.3): every true embedding must survive in the CPI —
+// for each query vertex u, M(u) is in u.C, for every strategy.
+class CpiSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CpiSoundnessTest, AllEmbeddingsSurvive) {
+  const uint64_t seed = GetParam();
+  SyntheticOptions data_options;
+  data_options.num_vertices = 60;
+  data_options.average_degree = 4.0;
+  data_options.num_labels = 4;
+  data_options.seed = seed;
+  Graph g = MakeSynthetic(data_options);
+
+  QueryGenOptions query_options;
+  query_options.num_vertices = 6;
+  query_options.sparse = (seed % 2 == 0);
+  query_options.seed = seed * 7 + 1;
+  Graph q = GenerateQuery(g, query_options);
+
+  std::vector<Embedding> truth = BruteForceEmbeddings(q, g);
+
+  for (CpiStrategy strategy :
+       {CpiStrategy::kNaive, CpiStrategy::kTopDown, CpiStrategy::kRefined}) {
+    for (VertexId root = 0; root < q.NumVertices(); ++root) {
+      BfsTree tree = BuildBfsTree(q, root);
+      Cpi cpi = BuildCpi(q, g, tree, strategy);
+      for (const Embedding& m : truth) {
+        for (VertexId u = 0; u < q.NumVertices(); ++u) {
+          const std::vector<VertexId>& c = cpi.Candidates(u);
+          EXPECT_TRUE(std::binary_search(c.begin(), c.end(), m[u]))
+              << "seed " << seed << " root " << root << " u " << u;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CpiSoundnessTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// Refinement can only shrink candidate sets (monotonicity).
+TEST(CpiMonotonicityTest, RefinedIsSubsetOfTopDownIsSubsetOfNaive) {
+  SyntheticOptions options;
+  options.num_vertices = 80;
+  options.average_degree = 5.0;
+  options.num_labels = 5;
+  options.seed = 99;
+  Graph g = MakeSynthetic(options);
+  QueryGenOptions query_options;
+  query_options.num_vertices = 8;
+  query_options.seed = 3;
+  Graph q = GenerateQuery(g, query_options);
+  BfsTree tree = BuildBfsTree(q, 0);
+
+  Cpi naive = BuildCpi(q, g, tree, CpiStrategy::kNaive);
+  Cpi td = BuildCpi(q, g, tree, CpiStrategy::kTopDown);
+  Cpi refined = BuildCpi(q, g, tree, CpiStrategy::kRefined);
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    std::vector<VertexId> n = Sorted(naive.Candidates(u));
+    std::vector<VertexId> t = Sorted(td.Candidates(u));
+    std::vector<VertexId> r = Sorted(refined.Candidates(u));
+    EXPECT_TRUE(std::includes(n.begin(), n.end(), t.begin(), t.end()));
+    EXPECT_TRUE(std::includes(t.begin(), t.end(), r.begin(), r.end()));
+  }
+}
+
+}  // namespace
+}  // namespace cfl

@@ -1,0 +1,179 @@
+// Cross-engine agreement: every engine in the repository — Ullmann,
+// QuickSI, TurboISO, the CFL variants, and the boosted engines — must report
+// the same embedding count as the brute-force oracle, over randomized
+// graph/query sweeps of varied density and label selectivity.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baseline/compress.h"
+#include "baseline/quicksi.h"
+#include "baseline/turboiso.h"
+#include "baseline/ullmann.h"
+#include "baseline/vf2.h"
+#include "gen/query_gen.h"
+#include "graph/graph_builder.h"
+#include "gen/synthetic.h"
+#include "match/engine.h"
+#include "test_util.h"
+
+namespace cfl {
+namespace {
+
+using testing::BruteForceCount;
+using testing::Figure3Data;
+using testing::Figure3Query;
+using testing::Figure7Data;
+using testing::Figure7Query;
+
+std::vector<std::unique_ptr<SubgraphEngine>> AllEngines(const Graph& data) {
+  std::vector<std::unique_ptr<SubgraphEngine>> engines;
+  engines.push_back(MakeUllmann(data));
+  engines.push_back(MakeVf2(data));
+  engines.push_back(MakeQuickSi(data));
+  engines.push_back(MakeTurboIso(data));
+  engines.push_back(MakeCflMatch(data));
+  engines.push_back(MakeCfMatch(data));
+  engines.push_back(MakeMatchNoDecomp(data));
+  engines.push_back(MakeCflMatchTd(data));
+  engines.push_back(MakeCflMatchNaive(data));
+  engines.push_back(MakeCflMatchBoost(data));
+  engines.push_back(MakeTurboIsoBoost(data));
+  return engines;
+}
+
+TEST(EnginesTest, AllAgreeOnFigure3) {
+  Graph q = Figure3Query();
+  Graph g = Figure3Data();
+  for (const auto& engine : AllEngines(g)) {
+    EXPECT_EQ(engine->Run(q, {}).embeddings, 3u) << engine->name();
+  }
+}
+
+TEST(EnginesTest, AllAgreeOnFigure7) {
+  Graph q = Figure7Query();
+  Graph g = Figure7Data();
+  for (const auto& engine : AllEngines(g)) {
+    EXPECT_EQ(engine->Run(q, {}).embeddings, 2u) << engine->name();
+  }
+}
+
+struct SweepParam {
+  uint64_t seed;
+  uint32_t data_vertices;
+  double data_degree;
+  uint32_t labels;
+  uint32_t query_vertices;
+  bool sparse;
+};
+
+class CrossEngineTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CrossEngineTest, AllEnginesMatchBruteForce) {
+  const SweepParam& p = GetParam();
+  SyntheticOptions options;
+  options.num_vertices = p.data_vertices;
+  options.average_degree = p.data_degree;
+  options.num_labels = p.labels;
+  options.seed = p.seed;
+  Graph g = MakeSynthetic(options);
+
+  QueryGenOptions query_options;
+  query_options.num_vertices = p.query_vertices;
+  query_options.sparse = p.sparse;
+  query_options.seed = p.seed * 31 + 7;
+  Graph q = GenerateQuery(g, query_options);
+
+  const uint64_t truth = BruteForceCount(q, g);
+  for (const auto& engine : AllEngines(g)) {
+    MatchResult r = engine->Run(q, {});
+    EXPECT_EQ(r.embeddings, truth)
+        << engine->name() << " seed=" << p.seed << " |V(q)|=" << p.query_vertices;
+  }
+}
+
+std::vector<SweepParam> MakeSweep() {
+  std::vector<SweepParam> sweep;
+  uint64_t seed = 1;
+  for (uint32_t labels : {2u, 4u, 8u}) {
+    for (double degree : {3.0, 6.0}) {
+      for (uint32_t qv : {4u, 6u, 8u}) {
+        for (bool sparse : {true, false}) {
+          sweep.push_back({seed++, 48, degree, labels, qv, sparse});
+        }
+      }
+    }
+  }
+  return sweep;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrossEngineTest,
+                         ::testing::ValuesIn(MakeSweep()));
+
+// Engines must agree on *twin-rich* graphs too, where the boosted engines
+// take the compressed path with multiplicities > 1 and clique classes.
+class TwinGraphTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwinGraphTest, BoostedEnginesAreExactUnderCompression) {
+  const uint64_t seed = GetParam();
+  SyntheticOptions options;
+  options.num_vertices = 24;
+  options.average_degree = 3.0;
+  options.num_labels = 3;
+  options.seed = seed;
+  Graph base = MakeSynthetic(options);
+  Graph g = AddTwinVertices(base, 16, /*adjacent_fraction=*/0.5, seed + 99);
+
+  QueryGenOptions query_options;
+  query_options.num_vertices = 5;
+  query_options.sparse = (seed % 2 == 0);
+  query_options.seed = seed * 17 + 3;
+  Graph q = GenerateQuery(g, query_options);
+
+  const uint64_t truth = BruteForceCount(q, g);
+  for (const auto& engine : AllEngines(g)) {
+    EXPECT_EQ(engine->Run(q, {}).embeddings, truth)
+        << engine->name() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TwinGraphTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(EnginesTest, SingleVertexQueries) {
+  // Degenerate but legal: a one-vertex query counts label occurrences.
+  Graph g = Figure3Data();
+  Graph q = MakeGraph({2}, {});  // label C: v1 and v3
+  for (const auto& engine : AllEngines(g)) {
+    EXPECT_EQ(engine->Run(q, {}).embeddings, 2u) << engine->name();
+  }
+}
+
+TEST(EnginesTest, LimitsRespectedByAll) {
+  // A query with plenty of embeddings; every engine must stop at the cap.
+  SyntheticOptions options;
+  options.num_vertices = 64;
+  options.average_degree = 6.0;
+  options.num_labels = 2;
+  options.seed = 5;
+  Graph g = MakeSynthetic(options);
+  QueryGenOptions query_options;
+  query_options.num_vertices = 4;
+  query_options.seed = 11;
+  Graph q = GenerateQuery(g, query_options);
+  const uint64_t truth = BruteForceCount(q, g);
+  ASSERT_GT(truth, 50u);
+
+  MatchLimits limits;
+  limits.max_embeddings = 10;
+  for (const auto& engine : AllEngines(g)) {
+    MatchResult r = engine->Run(q, limits);
+    EXPECT_TRUE(r.reached_limit) << engine->name();
+    EXPECT_GE(r.embeddings, 10u) << engine->name();
+    EXPECT_LT(r.embeddings, truth) << engine->name();
+  }
+}
+
+}  // namespace
+}  // namespace cfl

@@ -1,0 +1,135 @@
+// Direct tests of the CPI-based backtracking enumerator (Algorithm 5):
+// state cleanliness across outcomes, backward-edge enforcement, capacity
+// semantics, and visitor-visible invariants.
+
+#include "match/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "cpi/cpi_builder.h"
+#include "decomp/bfs_tree.h"
+#include "decomp/cfl_decomposition.h"
+#include "graph/graph_builder.h"
+#include "order/matching_order.h"
+#include "test_util.h"
+
+namespace cfl {
+namespace {
+
+using testing::Figure7Data;
+using testing::Figure7Query;
+
+struct Fixture {
+  Graph q = Figure7Query();
+  Graph g = Figure7Data();
+  BfsTree tree = BuildBfsTree(q, 0);
+  Cpi cpi = BuildCpi(q, g, tree);
+  CflDecomposition d = DecomposeCfl(q, 0);
+  MatchingOrder order =
+      ComputeMatchingOrder(q, cpi, d, DecompositionMode::kNone);
+};
+
+TEST(EnumeratorTest, VisitorSeesFullyBoundValidMappings) {
+  Fixture f;
+  EnumeratorState state(f.q.NumVertices(), f.g.NumVertices());
+  Deadline deadline(0.0);
+  uint32_t visits = 0;
+  EnumerateStatus status = EnumeratePartial(
+      f.g, f.cpi, f.order.steps, state, deadline, [&]() {
+        ++visits;
+        for (VertexId u = 0; u < f.q.NumVertices(); ++u) {
+          EXPECT_NE(state.mapping[u], kInvalidVertex);
+          EXPECT_EQ(f.g.label(state.mapping[u]), f.q.label(u));
+          for (VertexId w : f.q.Neighbors(u)) {
+            EXPECT_TRUE(f.g.HasEdge(state.mapping[u], state.mapping[w]));
+          }
+        }
+        return true;
+      });
+  EXPECT_EQ(status, EnumerateStatus::kDone);
+  EXPECT_EQ(visits, 2u);  // Figure 7 has two embeddings
+}
+
+TEST(EnumeratorTest, StateCleanAfterEveryOutcome) {
+  Fixture f;
+  EnumeratorState state(f.q.NumVertices(), f.g.NumVertices());
+
+  auto expect_clean = [&]() {
+    for (uint32_t used : state.used) EXPECT_EQ(used, 0u);
+    for (VertexId v : state.mapping) EXPECT_EQ(v, kInvalidVertex);
+  };
+
+  // Outcome 1: exhausted.
+  {
+    Deadline deadline(0.0);
+    EnumeratePartial(f.g, f.cpi, f.order.steps, state, deadline,
+                     []() { return true; });
+    expect_clean();
+  }
+  // Outcome 2: stopped by the visitor.
+  {
+    Deadline deadline(0.0);
+    EnumerateStatus status = EnumeratePartial(
+        f.g, f.cpi, f.order.steps, state, deadline, []() { return false; });
+    EXPECT_EQ(status, EnumerateStatus::kStopped);
+    expect_clean();
+  }
+  // Outcome 3: timed out (pre-expired deadline still unwinds cleanly).
+  {
+    Deadline deadline(1e-9);
+    while (!deadline.ExpiredCoarse()) {
+    }
+    EnumerateStatus status = EnumeratePartial(
+        f.g, f.cpi, f.order.steps, state, deadline, []() { return true; });
+    EXPECT_EQ(status, EnumerateStatus::kTimedOut);
+    expect_clean();
+  }
+}
+
+TEST(EnumeratorTest, SearchCountersAdvance) {
+  Fixture f;
+  EnumeratorState state(f.q.NumVertices(), f.g.NumVertices());
+  Deadline deadline(0.0);
+  EnumeratePartial(f.g, f.cpi, f.order.steps, state, deadline,
+                   []() { return true; });
+  EXPECT_GT(state.candidates_tried, 0u);
+  EXPECT_GT(state.candidates_bound, 0u);
+  EXPECT_LE(state.candidates_bound, state.candidates_tried);
+}
+
+TEST(EnumeratorTest, CapacitySemantics) {
+  // Two same-label query vertices against one capacity-2 hypervertex: both
+  // may share it; capacity 1 forbids it.
+  Graph q = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}, {1, 2}});
+  for (uint32_t capacity : {1u, 2u}) {
+    GraphBuilder gb(2);
+    gb.AllowSelfLoops();
+    gb.SetLabel(0, 0);
+    gb.SetLabel(1, 1);
+    gb.AddEdge(0, 1);
+    gb.AddEdge(1, 1);  // clique class
+    gb.SetMultiplicities({1, capacity});
+    Graph g = std::move(gb).Build();
+
+    BfsTree tree = BuildBfsTree(q, 0);
+    Cpi cpi = BuildCpi(q, g, tree);
+    if (cpi.HasEmptyCandidateSet()) {
+      EXPECT_EQ(capacity, 1u);  // degree filter alone kills capacity 1
+      continue;
+    }
+    CflDecomposition d = DecomposeCfl(q, 0);
+    MatchingOrder order =
+        ComputeMatchingOrder(q, cpi, d, DecompositionMode::kNone);
+    EnumeratorState state(q.NumVertices(), g.NumVertices());
+    Deadline deadline(0.0);
+    uint32_t matches = 0;
+    EnumeratePartial(g, cpi, order.steps, state, deadline, [&]() {
+      ++matches;
+      return true;
+    });
+    EXPECT_EQ(matches, capacity == 2 ? 1u : 0u) << "capacity " << capacity;
+  }
+}
+
+}  // namespace
+}  // namespace cfl

@@ -1,0 +1,214 @@
+// Unit tests for the core graph representation (graph/graph.h).
+
+#include "graph/graph.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "test_util.h"
+
+namespace cfl {
+namespace {
+
+using testing::Figure3Data;
+
+TEST(GraphTest, BasicShape) {
+  Graph g = Figure3Data();
+  EXPECT_EQ(g.NumVertices(), 7u);
+  EXPECT_EQ(g.NumEdges(), 13u);
+  EXPECT_EQ(g.NumLabels(), 5u);
+  EXPECT_EQ(g.label(0), 0u);
+  EXPECT_EQ(g.label(5), 3u);
+}
+
+TEST(GraphTest, NeighborsSortedAndDegrees) {
+  Graph g = Figure3Data();
+  std::span<const VertexId> n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(n0[2], 3u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.StructuralDegree(0), 3u);
+  EXPECT_EQ(g.degree(4), 2u);
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = Figure3Data();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(5, 6));
+  EXPECT_FALSE(g.HasEdge(0, 4));
+  EXPECT_FALSE(g.HasEdge(2, 6));
+  EXPECT_FALSE(g.HasEdge(0, 0));  // no self-loop
+}
+
+TEST(GraphTest, DuplicateEdgesCoalesce) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphTest, LabelIndex) {
+  Graph g = Figure3Data();
+  std::span<const VertexId> cs = g.VerticesWithLabel(2);  // label C
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0], 1u);
+  EXPECT_EQ(cs[1], 3u);
+  EXPECT_EQ(g.LabelFrequency(2), 2u);
+  EXPECT_EQ(g.LabelFrequency(0), 1u);
+  EXPECT_TRUE(g.VerticesWithLabel(99).empty());
+  EXPECT_EQ(g.LabelFrequency(99), 0u);
+}
+
+TEST(GraphTest, NeighborLabelCounts) {
+  Graph g = Figure3Data();
+  // v0 (A) neighbors: v1(C), v2(B), v3(C).
+  EXPECT_EQ(g.NeighborLabelCount(0, 2), 2u);  // two C neighbors
+  EXPECT_EQ(g.NeighborLabelCount(0, 1), 1u);  // one B neighbor
+  EXPECT_EQ(g.NeighborLabelCount(0, 4), 0u);  // no E neighbor
+  EXPECT_EQ(g.NeighborLabelKinds(0), 2u);
+}
+
+TEST(GraphTest, MaxNeighborDegree) {
+  Graph g = Figure3Data();
+  // v4 (E) neighbors: v1 (degree 5), v5 (degree 5).
+  EXPECT_EQ(g.MaxNeighborDegree(4), 5u);
+  // v0 neighbors: v1 (5), v2 (4), v3 (4).
+  EXPECT_EQ(g.MaxNeighborDegree(0), 5u);
+}
+
+TEST(GraphTest, SelfLoopRejectedWithoutOptIn) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.AddEdge(0, 0), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeEdgeThrows) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.AddEdge(0, 5), std::out_of_range);
+}
+
+TEST(GraphMultiplicityTest, EffectiveDegreesAndSelfLoops) {
+  // Hypervertex 0 stands for 3 mutually-adjacent originals (clique class,
+  // self-loop); vertex 1 stands for 2 originals adjacent to all of them.
+  GraphBuilder b(2);
+  b.AllowSelfLoops();
+  b.SetLabel(0, 0);
+  b.SetLabel(1, 1);
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  b.SetMultiplicities({3, 2});
+  Graph g = std::move(b).Build();
+
+  EXPECT_TRUE(g.HasMultiplicities());
+  EXPECT_EQ(g.EffectiveNumVertices(), 5u);
+  EXPECT_EQ(g.multiplicity(0), 3u);
+  // v0's expanded degree: 2 clique siblings + 2 members of v1.
+  EXPECT_EQ(g.degree(0), 4u);
+  // v1's expanded degree: 3 members of v0.
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+  // NLF under expansion: v0 sees 2 label-0 neighbors and 2 label-1.
+  EXPECT_EQ(g.NeighborLabelCount(0, 0), 2u);
+  EXPECT_EQ(g.NeighborLabelCount(0, 1), 2u);
+}
+
+TEST(GraphStatsTest, ComputeStats) {
+  Graph g = Figure3Data();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 7u);
+  EXPECT_EQ(s.num_edges, 13u);
+  EXPECT_EQ(s.distinct_labels, 5u);
+  EXPECT_NEAR(s.average_degree, 26.0 / 7.0, 1e-9);
+  EXPECT_EQ(s.max_degree, 5u);
+}
+
+TEST(GraphStatsTest, LabelPairFrequency) {
+  Graph g = Figure3Data();
+  LabelPairFrequency f(g);
+  // Edges with labels {A,C}: (v0,v1), (v0,v3) -> 2.
+  EXPECT_EQ(f.Frequency(0, 2), 2u);
+  EXPECT_EQ(f.Frequency(2, 0), 2u);
+  // {C,E}: (v1,v4), (v1,v6), (v3,v6) -> 3.
+  EXPECT_EQ(f.Frequency(2, 4), 3u);
+  // {A,E}: none.
+  EXPECT_EQ(f.Frequency(0, 4), 0u);
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  Graph g = Figure3Data();
+  std::stringstream ss;
+  WriteGraph(g, ss);
+  Graph h = ReadGraph(ss);
+  ASSERT_EQ(h.NumVertices(), g.NumVertices());
+  ASSERT_EQ(h.NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(h.label(v), g.label(v));
+    std::span<const VertexId> a = g.Neighbors(v);
+    std::span<const VertexId> b = h.Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GraphIoTest, RoundTripWithMultiplicities) {
+  GraphBuilder b(2);
+  b.AllowSelfLoops();
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  b.SetMultiplicities({3, 1});
+  Graph g = std::move(b).Build();
+  std::stringstream ss;
+  WriteGraph(g, ss);
+  Graph h = ReadGraph(ss);
+  EXPECT_TRUE(h.HasMultiplicities());
+  EXPECT_EQ(h.multiplicity(0), 3u);
+  EXPECT_TRUE(h.HasEdge(0, 0));
+}
+
+TEST(GraphIoTest, MalformedInputs) {
+  {
+    std::stringstream ss("v 0 1\n");
+    EXPECT_THROW(ReadGraph(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("t 2 1\nv 0 0\nv 1 0\n");  // missing edge
+    EXPECT_THROW(ReadGraph(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("t 2 1\nv 0 0\nv 5 0\ne 0 1\n");  // bad vertex id
+    EXPECT_THROW(ReadGraph(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(ReadGraph(ss), std::runtime_error);
+  }
+}
+
+TEST(InducedSubgraphTest, ExtractsVertexInducedEdges) {
+  Graph g = Figure3Data();
+  std::vector<VertexId> to_original;
+  Graph sub = InducedSubgraph(g, {0, 1, 2, 4}, &to_original);
+  EXPECT_EQ(sub.NumVertices(), 4u);
+  // Induced edges: (0,1), (0,2), (1,2), (1,4) -> local (0,1),(0,2),(1,2),(1,3).
+  EXPECT_EQ(sub.NumEdges(), 4u);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_TRUE(sub.HasEdge(1, 3));
+  EXPECT_FALSE(sub.HasEdge(0, 3));
+  EXPECT_EQ(sub.label(3), g.label(4));
+  ASSERT_EQ(to_original.size(), 4u);
+  EXPECT_EQ(to_original[3], 4u);
+}
+
+}  // namespace
+}  // namespace cfl

@@ -1,0 +1,111 @@
+// Tests for the experiment harness: table formatting, environment knobs,
+// and the query-set runner's budget/INF semantics.
+
+#include "harness/runner.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/env.h"
+#include "harness/table.h"
+#include "match/engine.h"
+#include "test_util.h"
+
+namespace cfl {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"query set", "CFL-Match"});
+  t.AddRow({"q50S", "1.25"});
+  t.AddRow({"q200N", "INF"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("query set"), std::string::npos);
+  EXPECT_NE(out.find("q200N"), std::string::npos);
+  EXPECT_NE(out.find("INF"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);  // must not crash
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(FormatMillisTest, Precision) {
+  EXPECT_EQ(FormatMillis(0.1234), "0.123");
+  EXPECT_EQ(FormatMillis(12.344), "12.34");
+  EXPECT_EQ(FormatMillis(1234.7), "1235");
+}
+
+TEST(EnvTest, Defaults) {
+  unsetenv("CFL_BENCH_SCALE");
+  unsetenv("CFL_BENCH_QUERIES");
+  unsetenv("CFL_BENCH_TIME_LIMIT_S");
+  EXPECT_DOUBLE_EQ(BenchScale(0.25), 0.25);
+  EXPECT_EQ(BenchQueries(20), 20u);
+  EXPECT_DOUBLE_EQ(BenchTimeLimitSeconds(20.0), 20.0);
+}
+
+TEST(EnvTest, ParsesValues) {
+  setenv("CFL_BENCH_SCALE", "full", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(0.25), 1.0);
+  setenv("CFL_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(0.25), 0.5);
+  setenv("CFL_BENCH_SCALE", "junk", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(0.25), 0.25);
+  unsetenv("CFL_BENCH_SCALE");
+
+  setenv("CFL_BENCH_QUERIES", "7", 1);
+  EXPECT_EQ(BenchQueries(20), 7u);
+  unsetenv("CFL_BENCH_QUERIES");
+
+  setenv("CFL_BENCH_TIME_LIMIT_S", "2.5", 1);
+  EXPECT_DOUBLE_EQ(BenchTimeLimitSeconds(20.0), 2.5);
+  unsetenv("CFL_BENCH_TIME_LIMIT_S");
+}
+
+TEST(RunnerTest, AveragesOverQueries) {
+  Graph g = testing::Figure3Data();
+  std::vector<Graph> queries = {testing::Figure3Query(),
+                                testing::Figure3Query()};
+  std::unique_ptr<SubgraphEngine> engine = MakeCflMatch(g);
+  RunConfig config;
+  QuerySetResult r = RunQuerySet(*engine, queries, config);
+  EXPECT_EQ(r.queries_run, 2u);
+  EXPECT_FALSE(r.IsInf());
+  EXPECT_EQ(r.total_embeddings, 6u);
+  EXPECT_GE(r.avg_total_ms, 0.0);
+  EXPECT_EQ(FormatResult(r), FormatMillis(r.avg_total_ms));
+}
+
+TEST(RunnerTest, BudgetExhaustionIsInf) {
+  // A clique-on-clique workload that cannot finish in 1 ms.
+  GraphBuilder qb(8);
+  for (VertexId a = 0; a < 8; ++a) {
+    for (VertexId b = a + 1; b < 8; ++b) qb.AddEdge(a, b);
+  }
+  Graph q = std::move(qb).Build();
+  GraphBuilder gb(48);
+  for (VertexId a = 0; a < 48; ++a) {
+    for (VertexId b = a + 1; b < 48; ++b) gb.AddEdge(a, b);
+  }
+  Graph g = std::move(gb).Build();
+
+  std::vector<Graph> queries = {q, q, q};
+  std::unique_ptr<SubgraphEngine> engine = MakeCflMatch(g);
+  RunConfig config;
+  config.set_budget_seconds = 0.02;
+  QuerySetResult r = RunQuerySet(*engine, queries, config);
+  EXPECT_TRUE(r.IsInf());
+  EXPECT_EQ(FormatResult(r), std::string(kInf));
+}
+
+}  // namespace
+}  // namespace cfl

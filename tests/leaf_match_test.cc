@@ -1,0 +1,200 @@
+// Focused tests for the leaf-match stage (paper Section 4.4): label-class
+// partitioning, NEC combination counting, conflict handling within a class,
+// capacity-aware counting on compressed graphs, and the paper's Figure 6
+// worked arithmetic (3 x 2 = 6 completions).
+
+#include "match/leaf_match.h"
+
+#include <gtest/gtest.h>
+
+#include "cpi/cpi_builder.h"
+#include "decomp/bfs_tree.h"
+#include "decomp/cfl_decomposition.h"
+#include "graph/graph_builder.h"
+#include "match/cfl_match.h"
+#include "test_util.h"
+
+namespace cfl {
+namespace {
+
+using testing::BruteForceCount;
+
+// Drives a full CFL match and returns the count — the leaf stage is where
+// these fixtures put all their weight.
+uint64_t CflCount(const Graph& q, const Graph& g) {
+  CflMatcher matcher(g);
+  return matcher.Match(q).embeddings;
+}
+
+TEST(LeafMatchTest, PaperSection44Arithmetic) {
+  // Reconstruction of the paper's Section 4.4 example shape: after core and
+  // forest are matched, two label classes remain — one with 3 injective
+  // assignments, one with 2 — giving 3 x 2 = 6 leaf completions.
+  //
+  // Query: hub A (label 0) with two G-leaves (label 1) and one F-leaf
+  // (label 2) plus a second hub B (label 3) attached to A with one F-leaf.
+  Graph q = MakeGraph({0, 1, 1, 2, 3, 2},
+                      {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {4, 5}});
+  // Data: a0 (A) adjacent to three G vertices (so C(2 leaves of label 1) has
+  // C(3,2) x 2! = 6... we want exactly 3 injective pairs => 3 candidates,
+  // ordered pairs = 3*2 = 6; and one F; b0 (B) adjacent to a0 and 2 Fs.
+  GraphBuilder b(9);
+  b.SetLabel(0, 0);                                  // a0
+  b.SetLabel(1, 1);  b.SetLabel(2, 1);  b.SetLabel(3, 1);  // G's
+  b.SetLabel(4, 2);                                  // F at a0
+  b.SetLabel(5, 3);                                  // b0
+  b.SetLabel(6, 2);  b.SetLabel(7, 2);               // F's at b0
+  b.SetLabel(8, 4);                                  // spare
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 4);
+  b.AddEdge(0, 5);
+  b.AddEdge(5, 6);
+  b.AddEdge(5, 7);
+  Graph g = std::move(b).Build();
+
+  // Leaves of q: {1,2} (label 1, NEC pair), {3} (label 2), {5} (label 2).
+  // Classes: label 1 -> ordered pairs from {v1,v2,v3} = 6;
+  //          label 2 -> u3 from {v4}, u5 from {v6,v7} = 1 * 2 = 2.
+  // Total = 6 * 2 = 12.
+  EXPECT_EQ(BruteForceCount(q, g), 12u);
+  EXPECT_EQ(CflCount(q, g), 12u);
+}
+
+TEST(LeafMatchTest, SameLabelClassesConflict) {
+  // Two leaves with the same label but different parents share candidates —
+  // the class machinery must forbid mapping both to the same data vertex.
+  Graph q = MakeGraph({0, 1, 2, 2}, {{0, 1}, {0, 2}, {1, 3}});
+  //   u2 (leaf of u0) and u3 (leaf of u1) both have label 2.
+  GraphBuilder b(4);
+  b.SetLabel(0, 0);
+  b.SetLabel(1, 1);
+  b.SetLabel(2, 2);  // the only label-2 vertex, adjacent to both hubs
+  b.SetLabel(3, 9);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build();
+  // Both leaves would map to v2 — impossible injectively.
+  EXPECT_EQ(BruteForceCount(q, g), 0u);
+  EXPECT_EQ(CflCount(q, g), 0u);
+}
+
+TEST(LeafMatchTest, NecFactorialCounting) {
+  // k same-label leaves under one parent with m candidates: count must be
+  // the falling factorial m(m-1)...(m-k+1).
+  for (uint32_t k = 1; k <= 4; ++k) {
+    for (uint32_t m = k; m <= 6; ++m) {
+      GraphBuilder qb(1 + k);
+      qb.SetLabel(0, 0);
+      for (uint32_t i = 1; i <= k; ++i) {
+        qb.SetLabel(i, 1);
+        qb.AddEdge(0, i);
+      }
+      Graph q = std::move(qb).Build();
+
+      GraphBuilder gb(1 + m);
+      gb.SetLabel(0, 0);
+      for (uint32_t i = 1; i <= m; ++i) {
+        gb.SetLabel(i, 1);
+        gb.AddEdge(0, i);
+      }
+      Graph g = std::move(gb).Build();
+
+      uint64_t expected = 1;
+      for (uint32_t i = 0; i < k; ++i) expected *= (m - i);
+      EXPECT_EQ(CflCount(q, g), expected) << "k=" << k << " m=" << m;
+    }
+  }
+}
+
+TEST(LeafMatchTest, CapacityAwareOnCompressedGraphs) {
+  // Hypervertex with multiplicity 3 hosting 2 leaves: P(3,2) = 6 ordered
+  // assignments.
+  GraphBuilder gb(2);
+  gb.SetLabel(0, 0);
+  gb.SetLabel(1, 1);
+  gb.AddEdge(0, 1);
+  gb.SetMultiplicities({1, 3});
+  Graph g = std::move(gb).Build();
+
+  Graph q = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});
+  EXPECT_EQ(CflCount(q, g), 6u);
+
+  // Three leaves: P(3,3) = 6; four leaves: impossible.
+  Graph q3 = MakeGraph({0, 1, 1, 1}, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(CflCount(q3, g), 6u);
+  Graph q4 = MakeGraph({0, 1, 1, 1, 1}, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(CflCount(q4, g), 0u);
+}
+
+TEST(LeafMatchTest, LeafCandidatesExcludeUsedVertices) {
+  // A leaf's candidate is consumed by the core: the completion must fail.
+  // Query: triangle A-B-C with a C leaf on A.
+  Graph q = MakeGraph({0, 1, 2, 2}, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  // Data: triangle a-b-c with NO second C adjacent to a.
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(BruteForceCount(q, g), 0u);
+  EXPECT_EQ(CflCount(q, g), 0u);
+
+  // Adding one more C adjacent to a fixes it.
+  Graph g2 = MakeGraph({0, 1, 2, 2}, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  EXPECT_EQ(BruteForceCount(q, g2), 1u);
+  EXPECT_EQ(CflCount(q, g2), 1u);
+}
+
+TEST(LeafMatchTest, EnumerationExpandsAllAssignments) {
+  // Star query with 2 same-label leaves over a 4-candidate star: callback
+  // must fire 12 times (ordered pairs).
+  Graph q = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});
+  GraphBuilder gb(5);
+  gb.SetLabel(0, 0);
+  for (VertexId v = 1; v <= 4; ++v) {
+    gb.SetLabel(v, 1);
+    gb.AddEdge(0, v);
+  }
+  Graph g = std::move(gb).Build();
+
+  CflMatcher matcher(g);
+  MatchOptions options;
+  uint64_t calls = 0;
+  options.on_embedding = [&](const Embedding& m) {
+    EXPECT_NE(m[1], m[2]);
+    ++calls;
+    return true;
+  };
+  MatchResult r = matcher.Match(q, options);
+  EXPECT_EQ(calls, 12u);
+  EXPECT_EQ(r.embeddings, 12u);
+}
+
+TEST(LeafMatchTest, SaturationOnHugeCounts) {
+  // 30 same-label leaves over a 60-candidate hub: the count overflows
+  // uint64 and must saturate at kNoLimit instead of wrapping.
+  const uint32_t k = 30, m = 60;
+  GraphBuilder qb(1 + k);
+  qb.SetLabel(0, 0);
+  for (uint32_t i = 1; i <= k; ++i) {
+    qb.SetLabel(i, 1);
+    qb.AddEdge(0, i);
+  }
+  Graph q = std::move(qb).Build();
+  GraphBuilder gb(1 + m);
+  gb.SetLabel(0, 0);
+  for (uint32_t i = 1; i <= m; ++i) {
+    gb.SetLabel(i, 1);
+    gb.AddEdge(0, i);
+  }
+  Graph g = std::move(gb).Build();
+
+  CflMatcher matcher(g);
+  MatchResult r = matcher.Match(q);
+  // (60)_30 is ~1e52; the saturating count reports kNoLimit and the cap
+  // machinery reports reached_limit.
+  EXPECT_EQ(r.embeddings, kNoLimit);
+  EXPECT_TRUE(r.reached_limit);
+}
+
+}  // namespace
+}  // namespace cfl

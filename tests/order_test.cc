@@ -1,0 +1,275 @@
+// Tests for path enumeration, cardinality estimation, the greedy path
+// ordering (Algorithm 2), matching-order assembly, and QuickSI's
+// QI-sequence.
+
+#include "order/matching_order.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cpi/cpi_builder.h"
+#include "decomp/bfs_tree.h"
+#include "decomp/cfl_decomposition.h"
+#include "gen/query_gen.h"
+#include "gen/synthetic.h"
+#include "graph/graph_stats.h"
+#include "order/cardinality.h"
+#include "order/path_enum.h"
+#include "order/path_order.h"
+#include "order/quicksi_order.h"
+#include "test_util.h"
+
+namespace cfl {
+namespace {
+
+using testing::Figure7Data;
+using testing::Figure7Query;
+
+TEST(PathEnumTest, Figure7Paths) {
+  Graph q = Figure7Query();
+  BfsTree tree = BuildBfsTree(q, 0);
+  std::vector<bool> all(q.NumVertices(), true);
+  std::vector<std::vector<VertexId>> paths = RootToLeafPaths(tree, 0, all);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (std::vector<VertexId>{0, 1, 3}));
+  EXPECT_EQ(paths[1], (std::vector<VertexId>{0, 2}));
+}
+
+TEST(PathEnumTest, RestrictionPrunesSubtrees) {
+  Graph q = Figure7Query();
+  BfsTree tree = BuildBfsTree(q, 0);
+  std::vector<bool> include(q.NumVertices(), true);
+  include[3] = false;  // cut u3: path (0,1) remains
+  std::vector<std::vector<VertexId>> paths = RootToLeafPaths(tree, 0, include);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(paths[1], (std::vector<VertexId>{0, 2}));
+}
+
+TEST(PathEnumTest, SingletonStart) {
+  Graph q = Figure7Query();
+  BfsTree tree = BuildBfsTree(q, 0);
+  std::vector<bool> include(q.NumVertices(), false);
+  include[0] = true;
+  std::vector<std::vector<VertexId>> paths = RootToLeafPaths(tree, 0, include);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<VertexId>{0}));
+}
+
+TEST(CardinalityTest, Figure7RefinedCounts) {
+  Graph q = Figure7Query();
+  Graph g = Figure7Data();
+  BfsTree tree = BuildBfsTree(q, 0);
+  Cpi cpi = BuildCpi(q, g, tree, CpiStrategy::kRefined);
+  // Refined CPI (Fig 7(e)): u0:{v1} u1:{v3,v5} u2:{v4,v6} u3:{v11,v12}.
+  std::vector<double> p1 = PathSuffixCardinalities(cpi, {0, 1, 3});
+  EXPECT_DOUBLE_EQ(p1[0], 2.0);  // v1->v3->v11 and v1->v5->v12
+  EXPECT_DOUBLE_EQ(p1[1], 2.0);
+  EXPECT_DOUBLE_EQ(p1[2], 2.0);
+  std::vector<double> p2 = PathSuffixCardinalities(cpi, {0, 2});
+  EXPECT_DOUBLE_EQ(p2[0], 2.0);
+  // Whole-tree cardinality ignores non-tree edges: v1 pairs each of its two
+  // u1-branches (v3->v11, v5->v12) with either u2 candidate (v4, v6) -> 4.
+  std::vector<bool> all(q.NumVertices(), true);
+  EXPECT_DOUBLE_EQ(TreeCardinality(cpi, 0, all), 4.0);
+}
+
+// Property: on a *path-shaped* query with a naive CPI, the DP cardinality
+// equals the number of label-preserving walks in the data graph (counted by
+// brute force) — the DP is exact, not an estimate, at the CPI level.
+TEST(CardinalityTest, MatchesWalkCountOnNaiveCpi) {
+  SyntheticOptions options;
+  options.num_vertices = 40;
+  options.average_degree = 4.0;
+  options.num_labels = 3;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    options.seed = seed;
+    Graph g = MakeSynthetic(options);
+    // Path query with labels drawn from the data graph.
+    std::vector<Label> labels = {g.label(seed % g.NumVertices()),
+                                 g.label((seed * 3 + 1) % g.NumVertices()),
+                                 g.label((seed * 7 + 2) % g.NumVertices())};
+    Graph q = MakeGraph(labels, {{0, 1}, {1, 2}});
+    BfsTree tree = BuildBfsTree(q, 0);
+    Cpi cpi = BuildCpi(q, g, tree, CpiStrategy::kNaive);
+
+    // Brute-force count of walks (v0,v1,v2) with matching labels.
+    uint64_t walks = 0;
+    for (VertexId v0 : g.VerticesWithLabel(labels[0])) {
+      for (VertexId v1 : g.Neighbors(v0)) {
+        if (g.label(v1) != labels[1]) continue;
+        for (VertexId v2 : g.Neighbors(v1)) {
+          if (g.label(v2) == labels[2]) ++walks;
+        }
+      }
+    }
+    std::vector<double> suffix = PathSuffixCardinalities(cpi, {0, 1, 2});
+    EXPECT_DOUBLE_EQ(suffix[0], static_cast<double>(walks)) << "seed " << seed;
+  }
+}
+
+TEST(PathOrderTest, CoversAllPathVerticesOnce) {
+  Graph q = Figure7Query();
+  Graph g = Figure7Data();
+  BfsTree tree = BuildBfsTree(q, 0);
+  Cpi cpi = BuildCpi(q, g, tree);
+  std::vector<bool> all(q.NumVertices(), true);
+  std::vector<std::vector<VertexId>> paths = RootToLeafPaths(tree, 0, all);
+  std::vector<VertexId> seq = OrderPaths(cpi, paths, tree.non_tree_edges);
+  ASSERT_EQ(seq.size(), q.NumVertices());
+  std::set<VertexId> distinct(seq.begin(), seq.end());
+  EXPECT_EQ(distinct.size(), q.NumVertices());
+  EXPECT_EQ(seq.front(), 0u);  // paths share the root, so it comes first
+}
+
+TEST(PathOrderTest, SeededOrderingSkipsSeeds) {
+  Graph q = Figure7Query();
+  Graph g = Figure7Data();
+  BfsTree tree = BuildBfsTree(q, 0);
+  Cpi cpi = BuildCpi(q, g, tree);
+  std::vector<bool> all(q.NumVertices(), true);
+  std::vector<std::vector<VertexId>> paths = RootToLeafPaths(tree, 0, all);
+  std::vector<VertexId> seq =
+      OrderPaths(cpi, paths, tree.non_tree_edges, /*seed_sequence=*/{0});
+  ASSERT_EQ(seq.size(), q.NumVertices() - 1);
+  EXPECT_TRUE(std::find(seq.begin(), seq.end(), 0u) == seq.end());
+}
+
+// Algorithm 2's greedy rule: with one clearly cheaper path, it goes first.
+TEST(PathOrderTest, CheaperPathFirst) {
+  // Query: root A with two arms, B-arm and C-arm; data has 1 B but 5 Cs.
+  Graph q = MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}});
+  GraphBuilder b(8);
+  b.SetLabel(0, 0);
+  b.SetLabel(1, 1);
+  for (VertexId v = 2; v < 7; ++v) b.SetLabel(v, 2);
+  b.AddEdge(0, 1);
+  for (VertexId v = 2; v < 7; ++v) b.AddEdge(0, v);
+  b.SetLabel(7, 3);
+  b.AddEdge(0, 7);
+  Graph g = std::move(b).Build();
+
+  BfsTree tree = BuildBfsTree(q, 0);
+  Cpi cpi = BuildCpi(q, g, tree);
+  std::vector<bool> all(q.NumVertices(), true);
+  std::vector<std::vector<VertexId>> paths = RootToLeafPaths(tree, 0, all);
+  std::vector<VertexId> seq = OrderPaths(cpi, paths, tree.non_tree_edges);
+  // The B-arm (1 candidate) must be matched before the C-arm (5 candidates).
+  EXPECT_EQ(seq, (std::vector<VertexId>{0, 1, 2}));
+}
+
+void ExpectValidMatchingOrder(const Graph& q, const MatchingOrder& order,
+                              const CflDecomposition& d,
+                              DecompositionMode mode) {
+  std::set<VertexId> placed;
+  for (uint32_t i = 0; i < order.steps.size(); ++i) {
+    const MatchStep& step = order.steps[i];
+    // Connected: every non-first step's parent is already placed.
+    if (i == 0) {
+      EXPECT_EQ(step.parent, kInvalidVertex);
+    } else {
+      EXPECT_TRUE(placed.count(step.parent)) << "step " << i;
+    }
+    // Backward edges reference placed vertices and real query edges.
+    for (VertexId w : step.backward) {
+      EXPECT_TRUE(placed.count(w));
+      EXPECT_TRUE(q.HasEdge(step.u, w));
+    }
+    EXPECT_TRUE(placed.insert(step.u).second) << "duplicate step";
+  }
+  // Coverage: steps + leaves = V(q); leaves only in kCfl mode.
+  std::set<VertexId> leaves(order.leaves.begin(), order.leaves.end());
+  EXPECT_EQ(placed.size() + leaves.size(), q.NumVertices());
+  if (mode == DecompositionMode::kCfl) {
+    EXPECT_EQ(leaves, std::set<VertexId>(d.leaf.begin(), d.leaf.end()));
+  } else {
+    EXPECT_TRUE(leaves.empty());
+  }
+  // Macro order: the first num_core_steps steps are exactly the core when
+  // decomposing.
+  if (mode != DecompositionMode::kNone) {
+    std::set<VertexId> core_steps;
+    for (uint32_t i = 0; i < order.num_core_steps; ++i) {
+      core_steps.insert(order.steps[i].u);
+    }
+    EXPECT_EQ(core_steps, std::set<VertexId>(d.core.begin(), d.core.end()));
+  }
+}
+
+class MatchingOrderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchingOrderPropertyTest, ValidForAllModes) {
+  const uint64_t seed = GetParam();
+  SyntheticOptions options;
+  options.num_vertices = 120;
+  options.average_degree = 5.0;
+  options.num_labels = 6;
+  options.seed = seed;
+  Graph g = MakeSynthetic(options);
+  QueryGenOptions qo;
+  qo.num_vertices = 12;
+  qo.sparse = (seed % 2 == 0);
+  qo.seed = seed + 500;
+  Graph q = GenerateQuery(g, qo);
+
+  CflDecomposition d = DecomposeCfl(q, 0);
+  VertexId root = d.core.front();
+  BfsTree tree = BuildBfsTree(q, root);
+  Cpi cpi = BuildCpi(q, g, tree);
+  for (DecompositionMode mode :
+       {DecompositionMode::kCfl, DecompositionMode::kCoreForest,
+        DecompositionMode::kNone}) {
+    MatchingOrder order = ComputeMatchingOrder(q, cpi, d, mode);
+    ExpectValidMatchingOrder(q, order, d, mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatchingOrderPropertyTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+TEST(QuickSiOrderTest, ConnectedAndComplete) {
+  Graph g = testing::Figure3Data();
+  Graph q = testing::Figure3Query();
+  LabelPairFrequency freq(g);
+  std::vector<QuickSiStep> seq = ComputeQiSequence(q, g, freq);
+  ASSERT_EQ(seq.size(), q.NumVertices());
+  std::set<VertexId> placed;
+  for (uint32_t i = 0; i < seq.size(); ++i) {
+    if (i == 0) {
+      EXPECT_EQ(seq[i].parent, kInvalidVertex);
+    } else {
+      EXPECT_TRUE(placed.count(seq[i].parent));
+      EXPECT_TRUE(q.HasEdge(seq[i].u, seq[i].parent));
+    }
+    for (VertexId w : seq[i].backward) {
+      EXPECT_TRUE(placed.count(w));
+      EXPECT_TRUE(q.HasEdge(seq[i].u, w));
+    }
+    placed.insert(seq[i].u);
+  }
+  EXPECT_EQ(placed.size(), q.NumVertices());
+}
+
+TEST(QuickSiOrderTest, InfrequentEdgeFirst) {
+  // Data: many A-B edges, one A-C edge. Query has both an A-B and an A-C
+  // edge; QuickSI must start from the infrequent A-C side.
+  GraphBuilder b(12);
+  b.SetLabel(0, 0);                                  // A hub
+  for (VertexId v = 1; v <= 10; ++v) b.SetLabel(v, 1);  // Bs
+  b.SetLabel(11, 2);                                 // C
+  for (VertexId v = 1; v <= 10; ++v) b.AddEdge(0, v);
+  b.AddEdge(0, 11);
+  Graph g = std::move(b).Build();
+
+  Graph q = MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}});
+  LabelPairFrequency freq(g);
+  std::vector<QuickSiStep> seq = ComputeQiSequence(q, g, freq);
+  // First two steps must be the A-C edge endpoints (u0 and u2).
+  std::set<VertexId> first_two = {seq[0].u, seq[1].u};
+  EXPECT_EQ(first_two, (std::set<VertexId>{0u, 2u}));
+}
+
+}  // namespace
+}  // namespace cfl

@@ -1,0 +1,156 @@
+// Shared test helpers: paper figure fixtures and a brute-force subgraph
+// isomorphism oracle used to validate every engine.
+
+#ifndef CFL_TESTS_TEST_UTIL_H_
+#define CFL_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "match/embedding.h"
+
+namespace cfl {
+namespace testing {
+
+// Reference oracle: plain recursive backtracking in input vertex order with
+// label filtering only. Exponential but obviously correct; use on small
+// graphs. Returns all embeddings (capped at `limit`).
+inline std::vector<Embedding> BruteForceEmbeddings(const Graph& q,
+                                                   const Graph& g,
+                                                   uint64_t limit = 1u << 20) {
+  std::vector<Embedding> out;
+  const uint32_t n = q.NumVertices();
+  Embedding mapping(n, kInvalidVertex);
+  std::vector<bool> used(g.NumVertices(), false);
+
+  std::function<void(uint32_t)> rec = [&](uint32_t u) {
+    if (out.size() >= limit) return;
+    if (u == n) {
+      out.push_back(mapping);
+      return;
+    }
+    for (VertexId v : g.VerticesWithLabel(q.label(u))) {
+      if (used[v]) continue;
+      bool ok = true;
+      for (VertexId w : q.Neighbors(u)) {
+        if (w < u && !g.HasEdge(mapping[w], v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      mapping[u] = v;
+      used[v] = true;
+      rec(u + 1);
+      used[v] = false;
+      mapping[u] = kInvalidVertex;
+    }
+  };
+  rec(0);
+  return out;
+}
+
+inline uint64_t BruteForceCount(const Graph& q, const Graph& g) {
+  return BruteForceEmbeddings(q, g).size();
+}
+
+// ---- Paper fixtures -----------------------------------------------------
+
+// Labels A..E as 0..4 throughout.
+inline constexpr Label kA = 0, kB = 1, kC = 2, kD = 3, kE = 4;
+
+// Figure 3(a) query: u1:A, u2:B, u3:C, u4:D, u5:E;
+// edges (u1,u2),(u1,u3),(u2,u3),(u2,u4),(u3,u5),(u4,u5). (0-based here.)
+inline Graph Figure3Query() {
+  return MakeGraph({kA, kB, kC, kD, kE},
+                   {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 4}});
+}
+
+// Figure 3(b) data graph; the paper lists exactly three embeddings of the
+// Figure 3(a) query: (v0,v2,v1,v5,v4), (v0,v2,v1,v5,v6), (v0,v2,v3,v5,v6).
+inline Graph Figure3Data() {
+  // v0:A v1:C v2:B v3:C v4:E v5:D v6:E
+  return MakeGraph({kA, kC, kB, kC, kE, kD, kE},
+                   {{0, 1},
+                    {0, 2},
+                    {0, 3},
+                    {1, 2},
+                    {2, 3},
+                    {1, 4},
+                    {1, 5},
+                    {2, 5},
+                    {3, 5},
+                    {3, 6},
+                    {5, 4},
+                    {5, 6},
+                    {1, 6}});
+}
+
+// Figure 7(a) query: u0:A, u1:B, u2:C, u3:D; tree edges (u0,u1),(u0,u2),
+// (u1,u3); non-tree edges (u1,u2) [S-NTE] and (u2,u3) [C-NTE].
+inline Graph Figure7Query() {
+  return MakeGraph({kA, kB, kC, kD},
+                   {{0, 1}, {0, 2}, {1, 3}, {1, 2}, {2, 3}});
+}
+
+// A data graph realizing the paper's Figure 7(c)-(e) CPI construction trace.
+// Vertex ids follow the paper (v1..v13, v15); v0 and v14 are isolated
+// fillers with an unused label so ids line up.
+//
+// Expected candidate sets:
+//   after top-down (Fig 7(d)): u0:{v1,v2} u1:{v3,v5,v7} u2:{v4,v6,v8}
+//                              u3:{v11,v12}
+//   after refinement (Fig 7(e)): u0:{v1} u1:{v3,v5} u2:{v4,v6} u3:{v11,v12}
+// and exactly two embeddings: (v1,v3,v4,v11) and (v1,v5,v6,v12).
+inline Graph Figure7Data() {
+  std::vector<Label> labels(16, kE);
+  labels[1] = kA;   // v1
+  labels[2] = kA;   // v2
+  labels[3] = kB;   // v3
+  labels[5] = kB;   // v5
+  labels[7] = kB;   // v7
+  labels[9] = kB;   // v9
+  labels[4] = kC;   // v4
+  labels[6] = kC;   // v6
+  labels[8] = kC;   // v8
+  labels[10] = kC;  // v10
+  labels[11] = kD;  // v11
+  labels[12] = kD;  // v12
+  labels[13] = kD;  // v13
+  labels[15] = kD;  // v15
+  return MakeGraph(labels, {// v1: A hub on the left
+                            {1, 3},
+                            {1, 5},
+                            {1, 7},
+                            {1, 4},
+                            {1, 6},
+                            // v2: A hub on the right
+                            {2, 9},
+                            {2, 8},
+                            {2, 10},
+                            // B-C-D structure
+                            {3, 4},
+                            {3, 11},
+                            {5, 6},
+                            {5, 12},
+                            {7, 6},
+                            {7, 13},
+                            {9, 10},
+                            {9, 13},
+                            {4, 11},
+                            {6, 12},
+                            {7, 8},
+                            {8, 15},
+                            // v14 (filler label) pads v10's degree to 3 so
+                            // v10 survives the counting/degree stage and is
+                            // pruned by CandVerify, as in the paper's trace.
+                            {10, 14}});
+}
+
+}  // namespace testing
+}  // namespace cfl
+
+#endif  // CFL_TESTS_TEST_UTIL_H_
