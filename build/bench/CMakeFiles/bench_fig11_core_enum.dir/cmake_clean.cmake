@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_core_enum.dir/bench_fig11_core_enum.cc.o"
+  "CMakeFiles/bench_fig11_core_enum.dir/bench_fig11_core_enum.cc.o.d"
+  "bench_fig11_core_enum"
+  "bench_fig11_core_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_core_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

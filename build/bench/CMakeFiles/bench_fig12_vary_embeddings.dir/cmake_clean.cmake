@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_vary_embeddings.dir/bench_fig12_vary_embeddings.cc.o"
+  "CMakeFiles/bench_fig12_vary_embeddings.dir/bench_fig12_vary_embeddings.cc.o.d"
+  "bench_fig12_vary_embeddings"
+  "bench_fig12_vary_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vary_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_boost.dir/bench_fig13_boost.cc.o"
+  "CMakeFiles/bench_fig13_boost.dir/bench_fig13_boost.cc.o.d"
+  "bench_fig13_boost"
+  "bench_fig13_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_framework.dir/bench_fig14_framework.cc.o"
+  "CMakeFiles/bench_fig14_framework.dir/bench_fig14_framework.cc.o.d"
+  "bench_fig14_framework"
+  "bench_fig14_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

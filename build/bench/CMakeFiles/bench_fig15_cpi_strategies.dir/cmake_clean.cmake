@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cpi_strategies.dir/bench_fig15_cpi_strategies.cc.o"
+  "CMakeFiles/bench_fig15_cpi_strategies.dir/bench_fig15_cpi_strategies.cc.o.d"
+  "bench_fig15_cpi_strategies"
+  "bench_fig15_cpi_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cpi_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_enum_order_split.dir/bench_fig20_enum_order_split.cc.o"
+  "CMakeFiles/bench_fig20_enum_order_split.dir/bench_fig20_enum_order_split.cc.o.d"
+  "bench_fig20_enum_order_split"
+  "bench_fig20_enum_order_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_enum_order_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

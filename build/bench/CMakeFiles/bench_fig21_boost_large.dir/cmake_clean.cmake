@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_boost_large.dir/bench_fig21_boost_large.cc.o"
+  "CMakeFiles/bench_fig21_boost_large.dir/bench_fig21_boost_large.cc.o.d"
+  "bench_fig21_boost_large"
+  "bench_fig21_boost_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_boost_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_freq_queries.dir/bench_fig22_freq_queries.cc.o"
+  "CMakeFiles/bench_fig22_freq_queries.dir/bench_fig22_freq_queries.cc.o.d"
+  "bench_fig22_freq_queries"
+  "bench_fig22_freq_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_freq_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

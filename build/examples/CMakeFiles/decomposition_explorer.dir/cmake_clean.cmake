@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposition_explorer.dir/decomposition_explorer.cpp.o"
+  "CMakeFiles/decomposition_explorer.dir/decomposition_explorer.cpp.o.d"
+  "decomposition_explorer"
+  "decomposition_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_search.dir/incremental_search.cpp.o"
+  "CMakeFiles/incremental_search.dir/incremental_search.cpp.o.d"
+  "incremental_search"
+  "incremental_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_motif_search.dir/protein_motif_search.cpp.o"
+  "CMakeFiles/protein_motif_search.dir/protein_motif_search.cpp.o.d"
+  "protein_motif_search"
+  "protein_motif_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_motif_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for protein_motif_search.
+# This may be replaced when dependencies are built.

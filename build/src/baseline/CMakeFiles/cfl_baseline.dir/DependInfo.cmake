@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/compress.cc" "src/baseline/CMakeFiles/cfl_baseline.dir/compress.cc.o" "gcc" "src/baseline/CMakeFiles/cfl_baseline.dir/compress.cc.o.d"
+  "/root/repo/src/baseline/quicksi.cc" "src/baseline/CMakeFiles/cfl_baseline.dir/quicksi.cc.o" "gcc" "src/baseline/CMakeFiles/cfl_baseline.dir/quicksi.cc.o.d"
+  "/root/repo/src/baseline/turboiso.cc" "src/baseline/CMakeFiles/cfl_baseline.dir/turboiso.cc.o" "gcc" "src/baseline/CMakeFiles/cfl_baseline.dir/turboiso.cc.o.d"
+  "/root/repo/src/baseline/ullmann.cc" "src/baseline/CMakeFiles/cfl_baseline.dir/ullmann.cc.o" "gcc" "src/baseline/CMakeFiles/cfl_baseline.dir/ullmann.cc.o.d"
+  "/root/repo/src/baseline/vf2.cc" "src/baseline/CMakeFiles/cfl_baseline.dir/vf2.cc.o" "gcc" "src/baseline/CMakeFiles/cfl_baseline.dir/vf2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cfl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/cfl_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/cfl_match_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpi/CMakeFiles/cfl_cpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/cfl_decomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_baseline.dir/compress.cc.o"
+  "CMakeFiles/cfl_baseline.dir/compress.cc.o.d"
+  "CMakeFiles/cfl_baseline.dir/quicksi.cc.o"
+  "CMakeFiles/cfl_baseline.dir/quicksi.cc.o.d"
+  "CMakeFiles/cfl_baseline.dir/turboiso.cc.o"
+  "CMakeFiles/cfl_baseline.dir/turboiso.cc.o.d"
+  "CMakeFiles/cfl_baseline.dir/ullmann.cc.o"
+  "CMakeFiles/cfl_baseline.dir/ullmann.cc.o.d"
+  "CMakeFiles/cfl_baseline.dir/vf2.cc.o"
+  "CMakeFiles/cfl_baseline.dir/vf2.cc.o.d"
+  "libcfl_baseline.a"
+  "libcfl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpi/candidate_filter.cc" "src/cpi/CMakeFiles/cfl_cpi.dir/candidate_filter.cc.o" "gcc" "src/cpi/CMakeFiles/cfl_cpi.dir/candidate_filter.cc.o.d"
+  "/root/repo/src/cpi/cpi.cc" "src/cpi/CMakeFiles/cfl_cpi.dir/cpi.cc.o" "gcc" "src/cpi/CMakeFiles/cfl_cpi.dir/cpi.cc.o.d"
+  "/root/repo/src/cpi/cpi_builder.cc" "src/cpi/CMakeFiles/cfl_cpi.dir/cpi_builder.cc.o" "gcc" "src/cpi/CMakeFiles/cfl_cpi.dir/cpi_builder.cc.o.d"
+  "/root/repo/src/cpi/root_select.cc" "src/cpi/CMakeFiles/cfl_cpi.dir/root_select.cc.o" "gcc" "src/cpi/CMakeFiles/cfl_cpi.dir/root_select.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cfl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/cfl_decomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_cpi.dir/candidate_filter.cc.o"
+  "CMakeFiles/cfl_cpi.dir/candidate_filter.cc.o.d"
+  "CMakeFiles/cfl_cpi.dir/cpi.cc.o"
+  "CMakeFiles/cfl_cpi.dir/cpi.cc.o.d"
+  "CMakeFiles/cfl_cpi.dir/cpi_builder.cc.o"
+  "CMakeFiles/cfl_cpi.dir/cpi_builder.cc.o.d"
+  "CMakeFiles/cfl_cpi.dir/root_select.cc.o"
+  "CMakeFiles/cfl_cpi.dir/root_select.cc.o.d"
+  "libcfl_cpi.a"
+  "libcfl_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/bfs_tree.cc" "src/decomp/CMakeFiles/cfl_decomp.dir/bfs_tree.cc.o" "gcc" "src/decomp/CMakeFiles/cfl_decomp.dir/bfs_tree.cc.o.d"
+  "/root/repo/src/decomp/cfl_decomposition.cc" "src/decomp/CMakeFiles/cfl_decomp.dir/cfl_decomposition.cc.o" "gcc" "src/decomp/CMakeFiles/cfl_decomp.dir/cfl_decomposition.cc.o.d"
+  "/root/repo/src/decomp/forest_is.cc" "src/decomp/CMakeFiles/cfl_decomp.dir/forest_is.cc.o" "gcc" "src/decomp/CMakeFiles/cfl_decomp.dir/forest_is.cc.o.d"
+  "/root/repo/src/decomp/k_core.cc" "src/decomp/CMakeFiles/cfl_decomp.dir/k_core.cc.o" "gcc" "src/decomp/CMakeFiles/cfl_decomp.dir/k_core.cc.o.d"
+  "/root/repo/src/decomp/nec.cc" "src/decomp/CMakeFiles/cfl_decomp.dir/nec.cc.o" "gcc" "src/decomp/CMakeFiles/cfl_decomp.dir/nec.cc.o.d"
+  "/root/repo/src/decomp/two_core.cc" "src/decomp/CMakeFiles/cfl_decomp.dir/two_core.cc.o" "gcc" "src/decomp/CMakeFiles/cfl_decomp.dir/two_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cfl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_decomp.dir/bfs_tree.cc.o"
+  "CMakeFiles/cfl_decomp.dir/bfs_tree.cc.o.d"
+  "CMakeFiles/cfl_decomp.dir/cfl_decomposition.cc.o"
+  "CMakeFiles/cfl_decomp.dir/cfl_decomposition.cc.o.d"
+  "CMakeFiles/cfl_decomp.dir/forest_is.cc.o"
+  "CMakeFiles/cfl_decomp.dir/forest_is.cc.o.d"
+  "CMakeFiles/cfl_decomp.dir/k_core.cc.o"
+  "CMakeFiles/cfl_decomp.dir/k_core.cc.o.d"
+  "CMakeFiles/cfl_decomp.dir/nec.cc.o"
+  "CMakeFiles/cfl_decomp.dir/nec.cc.o.d"
+  "CMakeFiles/cfl_decomp.dir/two_core.cc.o"
+  "CMakeFiles/cfl_decomp.dir/two_core.cc.o.d"
+  "libcfl_decomp.a"
+  "libcfl_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/datasets.cc" "src/gen/CMakeFiles/cfl_gen.dir/datasets.cc.o" "gcc" "src/gen/CMakeFiles/cfl_gen.dir/datasets.cc.o.d"
+  "/root/repo/src/gen/query_gen.cc" "src/gen/CMakeFiles/cfl_gen.dir/query_gen.cc.o" "gcc" "src/gen/CMakeFiles/cfl_gen.dir/query_gen.cc.o.d"
+  "/root/repo/src/gen/synthetic.cc" "src/gen/CMakeFiles/cfl_gen.dir/synthetic.cc.o" "gcc" "src/gen/CMakeFiles/cfl_gen.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cfl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_gen.dir/datasets.cc.o"
+  "CMakeFiles/cfl_gen.dir/datasets.cc.o.d"
+  "CMakeFiles/cfl_gen.dir/query_gen.cc.o"
+  "CMakeFiles/cfl_gen.dir/query_gen.cc.o.d"
+  "CMakeFiles/cfl_gen.dir/synthetic.cc.o"
+  "CMakeFiles/cfl_gen.dir/synthetic.cc.o.d"
+  "libcfl_gen.a"
+  "libcfl_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

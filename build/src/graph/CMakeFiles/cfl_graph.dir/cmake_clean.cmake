@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_graph.dir/graph.cc.o"
+  "CMakeFiles/cfl_graph.dir/graph.cc.o.d"
+  "CMakeFiles/cfl_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/cfl_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/cfl_graph.dir/graph_io.cc.o"
+  "CMakeFiles/cfl_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/cfl_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/cfl_graph.dir/graph_stats.cc.o.d"
+  "libcfl_graph.a"
+  "libcfl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_harness.dir/env.cc.o"
+  "CMakeFiles/cfl_harness.dir/env.cc.o.d"
+  "CMakeFiles/cfl_harness.dir/runner.cc.o"
+  "CMakeFiles/cfl_harness.dir/runner.cc.o.d"
+  "CMakeFiles/cfl_harness.dir/table.cc.o"
+  "CMakeFiles/cfl_harness.dir/table.cc.o.d"
+  "libcfl_harness.a"
+  "libcfl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

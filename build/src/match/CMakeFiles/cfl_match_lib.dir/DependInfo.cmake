@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/cfl_match.cc" "src/match/CMakeFiles/cfl_match_lib.dir/cfl_match.cc.o" "gcc" "src/match/CMakeFiles/cfl_match_lib.dir/cfl_match.cc.o.d"
+  "/root/repo/src/match/embedding.cc" "src/match/CMakeFiles/cfl_match_lib.dir/embedding.cc.o" "gcc" "src/match/CMakeFiles/cfl_match_lib.dir/embedding.cc.o.d"
+  "/root/repo/src/match/engine.cc" "src/match/CMakeFiles/cfl_match_lib.dir/engine.cc.o" "gcc" "src/match/CMakeFiles/cfl_match_lib.dir/engine.cc.o.d"
+  "/root/repo/src/match/iterator.cc" "src/match/CMakeFiles/cfl_match_lib.dir/iterator.cc.o" "gcc" "src/match/CMakeFiles/cfl_match_lib.dir/iterator.cc.o.d"
+  "/root/repo/src/match/leaf_match.cc" "src/match/CMakeFiles/cfl_match_lib.dir/leaf_match.cc.o" "gcc" "src/match/CMakeFiles/cfl_match_lib.dir/leaf_match.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cfl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/cfl_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpi/CMakeFiles/cfl_cpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/cfl_order.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

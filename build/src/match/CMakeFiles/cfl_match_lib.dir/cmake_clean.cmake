@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_match_lib.dir/cfl_match.cc.o"
+  "CMakeFiles/cfl_match_lib.dir/cfl_match.cc.o.d"
+  "CMakeFiles/cfl_match_lib.dir/embedding.cc.o"
+  "CMakeFiles/cfl_match_lib.dir/embedding.cc.o.d"
+  "CMakeFiles/cfl_match_lib.dir/engine.cc.o"
+  "CMakeFiles/cfl_match_lib.dir/engine.cc.o.d"
+  "CMakeFiles/cfl_match_lib.dir/iterator.cc.o"
+  "CMakeFiles/cfl_match_lib.dir/iterator.cc.o.d"
+  "CMakeFiles/cfl_match_lib.dir/leaf_match.cc.o"
+  "CMakeFiles/cfl_match_lib.dir/leaf_match.cc.o.d"
+  "libcfl_match_lib.a"
+  "libcfl_match_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_match_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcfl_match_lib.a"
+)

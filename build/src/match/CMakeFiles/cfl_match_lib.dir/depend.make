@@ -1,0 +1,2 @@
+# Empty dependencies file for cfl_match_lib.
+# This may be replaced when dependencies are built.

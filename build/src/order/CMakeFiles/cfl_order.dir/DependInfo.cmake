@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/order/cardinality.cc" "src/order/CMakeFiles/cfl_order.dir/cardinality.cc.o" "gcc" "src/order/CMakeFiles/cfl_order.dir/cardinality.cc.o.d"
+  "/root/repo/src/order/cost_model.cc" "src/order/CMakeFiles/cfl_order.dir/cost_model.cc.o" "gcc" "src/order/CMakeFiles/cfl_order.dir/cost_model.cc.o.d"
+  "/root/repo/src/order/matching_order.cc" "src/order/CMakeFiles/cfl_order.dir/matching_order.cc.o" "gcc" "src/order/CMakeFiles/cfl_order.dir/matching_order.cc.o.d"
+  "/root/repo/src/order/path_enum.cc" "src/order/CMakeFiles/cfl_order.dir/path_enum.cc.o" "gcc" "src/order/CMakeFiles/cfl_order.dir/path_enum.cc.o.d"
+  "/root/repo/src/order/path_order.cc" "src/order/CMakeFiles/cfl_order.dir/path_order.cc.o" "gcc" "src/order/CMakeFiles/cfl_order.dir/path_order.cc.o.d"
+  "/root/repo/src/order/quicksi_order.cc" "src/order/CMakeFiles/cfl_order.dir/quicksi_order.cc.o" "gcc" "src/order/CMakeFiles/cfl_order.dir/quicksi_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cfl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/cfl_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpi/CMakeFiles/cfl_cpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_order.dir/cardinality.cc.o"
+  "CMakeFiles/cfl_order.dir/cardinality.cc.o.d"
+  "CMakeFiles/cfl_order.dir/cost_model.cc.o"
+  "CMakeFiles/cfl_order.dir/cost_model.cc.o.d"
+  "CMakeFiles/cfl_order.dir/matching_order.cc.o"
+  "CMakeFiles/cfl_order.dir/matching_order.cc.o.d"
+  "CMakeFiles/cfl_order.dir/path_enum.cc.o"
+  "CMakeFiles/cfl_order.dir/path_enum.cc.o.d"
+  "CMakeFiles/cfl_order.dir/path_order.cc.o"
+  "CMakeFiles/cfl_order.dir/path_order.cc.o.d"
+  "CMakeFiles/cfl_order.dir/quicksi_order.cc.o"
+  "CMakeFiles/cfl_order.dir/quicksi_order.cc.o.d"
+  "libcfl_order.a"
+  "libcfl_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

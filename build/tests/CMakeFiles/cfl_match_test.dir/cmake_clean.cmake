@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_match_test.dir/cfl_match_test.cc.o"
+  "CMakeFiles/cfl_match_test.dir/cfl_match_test.cc.o.d"
+  "cfl_match_test"
+  "cfl_match_test.pdb"
+  "cfl_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_model_test.dir/cost_model_test.cc.o"
+  "CMakeFiles/cost_model_test.dir/cost_model_test.cc.o.d"
+  "cost_model_test"
+  "cost_model_test.pdb"
+  "cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi_test.dir/cpi_test.cc.o"
+  "CMakeFiles/cpi_test.dir/cpi_test.cc.o.d"
+  "cpi_test"
+  "cpi_test.pdb"
+  "cpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

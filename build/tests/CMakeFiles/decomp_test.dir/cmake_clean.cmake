@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomp_test.dir/decomp_test.cc.o"
+  "CMakeFiles/decomp_test.dir/decomp_test.cc.o.d"
+  "decomp_test"
+  "decomp_test.pdb"
+  "decomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

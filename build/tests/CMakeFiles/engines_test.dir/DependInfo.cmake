@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engines_test.cc" "tests/CMakeFiles/engines_test.dir/engines_test.cc.o" "gcc" "tests/CMakeFiles/engines_test.dir/engines_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cfl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cfl_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/cfl_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpi/CMakeFiles/cfl_cpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/cfl_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/cfl_match_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cfl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/cfl_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

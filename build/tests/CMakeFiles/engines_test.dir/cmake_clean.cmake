@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engines_test.dir/engines_test.cc.o"
+  "CMakeFiles/engines_test.dir/engines_test.cc.o.d"
+  "engines_test"
+  "engines_test.pdb"
+  "engines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

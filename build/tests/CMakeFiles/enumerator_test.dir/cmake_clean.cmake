@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumerator_test.dir/enumerator_test.cc.o"
+  "CMakeFiles/enumerator_test.dir/enumerator_test.cc.o.d"
+  "enumerator_test"
+  "enumerator_test.pdb"
+  "enumerator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumerator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterator_test.dir/iterator_test.cc.o"
+  "CMakeFiles/iterator_test.dir/iterator_test.cc.o.d"
+  "iterator_test"
+  "iterator_test.pdb"
+  "iterator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

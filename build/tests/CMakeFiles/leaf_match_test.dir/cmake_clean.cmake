@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_match_test.dir/leaf_match_test.cc.o"
+  "CMakeFiles/leaf_match_test.dir/leaf_match_test.cc.o.d"
+  "leaf_match_test"
+  "leaf_match_test.pdb"
+  "leaf_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turboiso_test.dir/turboiso_test.cc.o"
+  "CMakeFiles/turboiso_test.dir/turboiso_test.cc.o.d"
+  "turboiso_test"
+  "turboiso_test.pdb"
+  "turboiso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turboiso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_generate.dir/cfl_generate.cc.o"
+  "CMakeFiles/cfl_generate.dir/cfl_generate.cc.o.d"
+  "cfl_generate"
+  "cfl_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

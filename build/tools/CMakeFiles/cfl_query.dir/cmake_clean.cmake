@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfl_query.dir/cfl_query.cc.o"
+  "CMakeFiles/cfl_query.dir/cfl_query.cc.o.d"
+  "cfl_query"
+  "cfl_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfl_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
