@@ -1,0 +1,130 @@
+// CFL_CHECK / CFL_DCHECK: invariant-checking macros with streamed context.
+//
+// `assert(x)` aborts mutely; in a matcher whose whole value proposition is
+// that aggressive pruning stays *exact*, a failed invariant needs to say
+// which structure broke and where. These macros print file:line, the failed
+// expression, the operand values (for the comparison forms), and any
+// streamed context before aborting:
+//
+//   CFL_CHECK(pos < cands.size()) << " u=" << u << " pos=" << pos;
+//   CFL_CHECK_EQ(offsets.back(), adj.size()) << " while building u=" << u;
+//
+// CFL_CHECK is always on. CFL_DCHECK compiles to the same thing in debug
+// builds (and whenever CFL_FORCE_DCHECKS is defined, which the CMake option
+// CFL_FORCE_DCHECKS wires through); in NDEBUG builds it compiles away to a
+// dead, syntax-checked statement with zero runtime cost, so it is safe on
+// the enumeration hot paths.
+//
+// Header-only by design: any library in the tree can use the macros without
+// taking a link dependency on cfl_check (which holds the heavier structural
+// validators, see validate.h).
+
+#ifndef CFL_CHECK_CHECK_H_
+#define CFL_CHECK_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cfl {
+namespace check {
+
+// Accumulates a failure message and aborts the process when destroyed at
+// the end of the full expression (after all `<<` context has been applied).
+class FailureStream {
+ public:
+  FailureStream(const char* file, int line, const char* expression) {
+    stream_ << "CFL_CHECK failed at " << file << ":" << line << ": "
+            << expression;
+  }
+
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+
+  [[noreturn]] ~FailureStream() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+    std::abort();
+  }
+
+  // Appends " (lhs vs rhs)" for the comparison macros.
+  template <typename A, typename B>
+  FailureStream& WithValues(const A& lhs, const B& rhs) {
+    stream_ << " (" << lhs << " vs " << rhs << ")";
+    return *this;
+  }
+
+  template <typename T>
+  FailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// `Voidifier() & stream` gives the failure arm of the ternary type void;
+// `&` binds looser than `<<`, so streamed context attaches to the stream.
+// Takes a const ref so both a bare temporary (`CFL_CHECK(c);`) and the
+// lvalue returned by `operator<<` chains bind.
+struct Voidifier {
+  void operator&(const FailureStream&) const {}
+};
+
+// Swallows `<< context` of compiled-out CFL_DCHECKs without evaluating it.
+struct NullStream {
+  template <typename T>
+  const NullStream& operator<<(const T&) const {
+    return *this;
+  }
+};
+
+}  // namespace check
+}  // namespace cfl
+
+#define CFL_CHECK(condition)                             \
+  (condition) ? (void)0                                  \
+              : ::cfl::check::Voidifier() &              \
+                    ::cfl::check::FailureStream(         \
+                        __FILE__, __LINE__, #condition)
+
+#define CFL_CHECK_OP_(lhs, op, rhs)                              \
+  ((lhs)op(rhs)) ? (void)0                                       \
+                 : ::cfl::check::Voidifier() &                   \
+                       ::cfl::check::FailureStream(              \
+                           __FILE__, __LINE__, #lhs " " #op " " #rhs) \
+                           .WithValues((lhs), (rhs))
+
+#define CFL_CHECK_EQ(lhs, rhs) CFL_CHECK_OP_(lhs, ==, rhs)
+#define CFL_CHECK_NE(lhs, rhs) CFL_CHECK_OP_(lhs, !=, rhs)
+#define CFL_CHECK_LT(lhs, rhs) CFL_CHECK_OP_(lhs, <, rhs)
+#define CFL_CHECK_LE(lhs, rhs) CFL_CHECK_OP_(lhs, <=, rhs)
+#define CFL_CHECK_GT(lhs, rhs) CFL_CHECK_OP_(lhs, >, rhs)
+#define CFL_CHECK_GE(lhs, rhs) CFL_CHECK_OP_(lhs, >=, rhs)
+
+#if !defined(NDEBUG) || defined(CFL_FORCE_DCHECKS)
+#define CFL_DCHECK_IS_ON 1
+#define CFL_DCHECK(condition) CFL_CHECK(condition)
+#define CFL_DCHECK_EQ(lhs, rhs) CFL_CHECK_EQ(lhs, rhs)
+#define CFL_DCHECK_NE(lhs, rhs) CFL_CHECK_NE(lhs, rhs)
+#define CFL_DCHECK_LT(lhs, rhs) CFL_CHECK_LT(lhs, rhs)
+#define CFL_DCHECK_LE(lhs, rhs) CFL_CHECK_LE(lhs, rhs)
+#define CFL_DCHECK_GT(lhs, rhs) CFL_CHECK_GT(lhs, rhs)
+#define CFL_DCHECK_GE(lhs, rhs) CFL_CHECK_GE(lhs, rhs)
+#else
+#define CFL_DCHECK_IS_ON 0
+// Dead but syntax-checked: operands stay "used" (no -Wunused warnings) and
+// the optimizer removes the whole statement.
+#define CFL_DCHECK_DEAD_(condition) \
+  while (false && (condition)) ::cfl::check::NullStream()
+#define CFL_DCHECK(condition) CFL_DCHECK_DEAD_(condition)
+#define CFL_DCHECK_EQ(lhs, rhs) CFL_DCHECK_DEAD_((lhs) == (rhs))
+#define CFL_DCHECK_NE(lhs, rhs) CFL_DCHECK_DEAD_((lhs) != (rhs))
+#define CFL_DCHECK_LT(lhs, rhs) CFL_DCHECK_DEAD_((lhs) < (rhs))
+#define CFL_DCHECK_LE(lhs, rhs) CFL_DCHECK_DEAD_((lhs) <= (rhs))
+#define CFL_DCHECK_GT(lhs, rhs) CFL_DCHECK_DEAD_((lhs) > (rhs))
+#define CFL_DCHECK_GE(lhs, rhs) CFL_DCHECK_DEAD_((lhs) >= (rhs))
+#endif
+
+#endif  // CFL_CHECK_CHECK_H_

@@ -1,0 +1,59 @@
+// Mutable backdoors into otherwise-immutable structures, for tests ONLY.
+//
+// The validator tests (tests/check_test.cc) must corrupt a known-good Graph
+// or Cpi — unsort an adjacency list, point a CPI position out of range —
+// and assert the validators catch it. Graph and Cpi are deliberately
+// immutable after construction, so the corruption goes through these friend
+// structs instead of loosening the production API.
+//
+// Never include this header outside of tests.
+
+#ifndef CFL_CHECK_TEST_ACCESS_H_
+#define CFL_CHECK_TEST_ACCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cpi/cpi.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+struct GraphTestAccess {
+  static std::vector<VertexId>& Neighbors(Graph& g) { return g.neighbors_; }
+  static std::vector<Label>& Labels(Graph& g) { return g.labels_; }
+  static std::vector<uint32_t>& Multiplicity(Graph& g) {
+    return g.multiplicity_;
+  }
+  static uint64_t& EffectiveNumVertices(Graph& g) {
+    return g.effective_num_vertices_;
+  }
+  static std::vector<uint32_t>& EffectiveDegree(Graph& g) {
+    return g.effective_degree_;
+  }
+  static std::vector<VertexId>& LabelVertices(Graph& g) {
+    return g.label_vertices_;
+  }
+  static std::vector<uint64_t>& LabelFrequency(Graph& g) {
+    return g.label_frequency_;
+  }
+  static std::vector<Graph::LabelCount>& Nlf(Graph& g) { return g.nlf_; }
+  static std::vector<uint32_t>& Mnd(Graph& g) { return g.mnd_; }
+  static uint64_t& NumEdges(Graph& g) { return g.num_edges_; }
+};
+
+struct CpiTestAccess {
+  static std::vector<std::vector<VertexId>>& Candidates(Cpi& cpi) {
+    return cpi.candidates_;
+  }
+  static std::vector<std::vector<uint32_t>>& AdjOffsets(Cpi& cpi) {
+    return cpi.adj_offsets_;
+  }
+  static std::vector<std::vector<uint32_t>>& Adj(Cpi& cpi) {
+    return cpi.adj_;
+  }
+};
+
+}  // namespace cfl
+
+#endif  // CFL_CHECK_TEST_ACCESS_H_

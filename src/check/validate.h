@@ -1,0 +1,114 @@
+// Structural validators for the matcher's auxiliary data structures.
+//
+// CFL-Match's enumeration never probes the data graph for tree edges — it
+// trusts the CPI's candidate sets and adjacency positions, and it trusts the
+// core/forest/leaf partition to postpone the right Cartesian products. A
+// single off-by-one in any of these yields *wrong embedding counts*, not
+// crashes. These validators machine-check each structure's full contract
+// against its definition (graph_builder.cc, cpi_builder.cc,
+// cfl_decomposition.cc document the contracts being checked).
+//
+// Each validator returns the first violation it finds with enough context
+// to localize it; tests corrupt known-good structures and assert the
+// violation is caught, and `CflMatcher` re-checks every structure it builds
+// when debug validation is enabled (CFL_VALIDATE=1 in the environment, or
+// the CFL_FORCE_VALIDATE build option).
+//
+// Complexity: all validators are O(structure size · log) or better — cheap
+// enough for tests and debug runs, not for production hot paths.
+
+#ifndef CFL_CHECK_VALIDATE_H_
+#define CFL_CHECK_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "cpi/cpi.h"
+#include "decomp/bfs_tree.h"
+#include "decomp/cfl_decomposition.h"
+#include "graph/graph.h"
+
+namespace cfl {
+
+// First violation found, or ok. `explicit operator bool` reads as "valid".
+struct ValidationResult {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+
+  static ValidationResult Ok() { return {}; }
+  static ValidationResult Fail(std::string message) {
+    return {false, std::move(message)};
+  }
+};
+
+// Full CSR-consistency check of a Graph (plain or compressed):
+//   * offsets monotone and bounded; adjacency sorted strictly ascending,
+//     entries in range; adjacency symmetric; edge count consistent;
+//   * self-loops only at vertices with multiplicity >= 2 (compressed clique
+//     classes); multiplicities >= 1; effective vertex count consistent;
+//   * label index: dense labels, per-label vertex lists sorted and exact,
+//     label frequencies equal to summed multiplicities;
+//   * NLF runs sorted by label with positive effective counts matching the
+//     adjacency; effective degrees and mnd() recomputed and compared.
+ValidationResult ValidateGraph(const Graph& g);
+
+// Checks that `tree` is a structurally consistent BFS tree of `q`: parent
+// pointers are query edges, levels increase by one along them and differ by
+// at most one across non-tree edges, children/levels/order agree with the
+// parent array, and every vertex is reached exactly once.
+ValidationResult ValidateBfsTree(const Graph& q, const BfsTree& tree);
+
+// Checks a CPI built for query `q` over data graph `data`:
+//   * per query vertex: candidates sorted strictly ascending, in range, and
+//     label-consistent with q;
+//   * per non-root u with parent p: adjacency offsets cover exactly
+//     |C(p)| blocks; every stored position is in range of C(u); each block
+//     is sorted, duplicate-free, and *exactly* the set of positions of
+//     candidates of u adjacent in `data` to the parent candidate (both
+//     soundness and completeness — a missing entry silently drops
+//     embeddings, which is the bug class this exists to catch);
+//   * the paper's size bound: |C(u)| <= |V(G)| and per tree edge at most
+//     2|E(G)| adjacency entries (O(|E(G)| x |V(q)|) total).
+ValidationResult ValidateCpi(const Graph& q, const Graph& data,
+                             const Cpi& cpi);
+
+// Checks a core-forest-leaf decomposition of `q`:
+//   * klass array and the core/forest/leaf lists agree, each list sorted,
+//     the three lists partition V(q);
+//   * the core-set is exactly the 2-core (recomputed independently by
+//     peeling), or exactly one root vertex when q is a tree;
+//   * the leaf-set is exactly the degree-one vertices outside the core;
+//   * connections are exactly the core vertices with a non-core neighbor.
+ValidationResult ValidateDecomposition(const Graph& q,
+                                       const CflDecomposition& d);
+
+// Checks that `classes` is a genuine NEC partition of V(g): classes and
+// members ascending, every vertex in exactly one class, all members of a
+// class share label and *identical* neighbor sets, and the partition is
+// maximal (no two classes could merge).
+ValidationResult ValidateNecClasses(
+    const Graph& g, const std::vector<std::vector<VertexId>>& classes);
+
+// Checks that `mapping` (query vertex -> data vertex; same layout as
+// cfl::Embedding) is a subgraph-isomorphism embedding of `q` in `data`:
+// complete, in range, label-preserving, edge-preserving, and injective —
+// where on compressed data graphs a hypervertex may absorb up to
+// multiplicity(v) query vertices, and two query vertices co-mapped to the
+// same hypervertex may only be adjacent if it carries a self-loop.
+ValidationResult ValidateEmbedding(const Graph& q, const Graph& data,
+                                   const std::vector<VertexId>& mapping);
+
+namespace check {
+
+// True when debug validation is requested: compiled in via the
+// CFL_FORCE_VALIDATE option, or CFL_VALIDATE=1/true in the environment
+// (read once). CflMatcher consults this to re-check the structures it
+// builds; see cfl_match.cc.
+bool DebugValidationEnabled();
+
+}  // namespace check
+}  // namespace cfl
+
+#endif  // CFL_CHECK_VALIDATE_H_

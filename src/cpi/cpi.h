@@ -68,8 +68,26 @@ class Cpi {
 
   uint64_t MemoryBytes() const;
 
+  // --- Introspection (validators and tests; not used by enumeration) -----
+
+  uint32_t NumQueryVertices() const {
+    return static_cast<uint32_t>(candidates_.size());
+  }
+
+  // Raw per-vertex adjacency storage: `AdjacencyOffsets(u)` has one entry
+  // per candidate of u's parent plus a trailing end offset, slicing
+  // `AdjacencyEntries(u)` into the N_u^{u.p}(v) blocks. Both empty for the
+  // root. See check/validate.h for the invariants these must satisfy.
+  const std::vector<uint32_t>& AdjacencyOffsets(VertexId u) const {
+    return adj_offsets_[u];
+  }
+  const std::vector<uint32_t>& AdjacencyEntries(VertexId u) const {
+    return adj_[u];
+  }
+
  private:
   friend class CpiBuilder;
+  friend struct CpiTestAccess;  // check/test_access.h
 
   BfsTree tree_;
   std::vector<std::vector<VertexId>> candidates_;   // per query vertex

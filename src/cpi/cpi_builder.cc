@@ -1,8 +1,8 @@
 #include "cpi/cpi_builder.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "check/check.h"
 #include "cpi/candidate_filter.h"
 
 namespace cfl {
@@ -14,7 +14,9 @@ CpiBuilder::CpiBuilder(const Graph& data)
 
 void CpiBuilder::GenerateCandidates(const Graph& q, VertexId u,
                                     const std::vector<VertexId>& against) {
-  assert(!against.empty());  // BFS guarantees a visited parent
+  CFL_DCHECK(!against.empty())
+      << " generating candidates for query vertex " << u
+      << " with no visited neighbors; BFS guarantees a visited parent";
   // Counting intersection (Algorithm 3 lines 6-14 / Lemma 5.1): after round
   // k, cnt_[v] == k+1 iff v has a neighbor in cand_[u'] for each of the
   // first k+1 query vertices u' processed.

@@ -1,15 +1,16 @@
 #include "cpi/root_select.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "check/check.h"
 
 namespace cfl {
 
 VertexId SelectRoot(const Graph& q, const Graph& data,
                     const LabelDegreeIndex& index,
                     const std::vector<VertexId>& choices) {
-  assert(!choices.empty());
+  CFL_DCHECK(!choices.empty()) << " root selection needs at least one choice";
 
   // Light-weight pass: rank by (#label+degree candidates) / degree.
   struct Scored {

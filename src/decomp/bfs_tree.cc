@@ -1,7 +1,8 @@
 #include "decomp/bfs_tree.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.h"
 
 namespace cfl {
 
@@ -54,7 +55,9 @@ BfsTree BuildBfsTree(const Graph& q, VertexId root) {
       e.u = (t.level[a] <= t.level[b]) ? a : b;
       e.v = (e.u == a) ? b : a;
       e.same_level = (t.level[a] == t.level[b]);
-      assert(t.level[e.v] - t.level[e.u] <= 1);
+      CFL_DCHECK_LE(t.level[e.v] - t.level[e.u], 1u)
+          << " non-tree edge (" << e.u << ", " << e.v
+          << ") spans more than one BFS level";
       t.non_tree_edges.push_back(e);
       t.non_tree_neighbors[a].push_back(b);
       t.non_tree_neighbors[b].push_back(a);

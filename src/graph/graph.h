@@ -134,6 +134,7 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend struct GraphTestAccess;  // check/test_access.h
 
   std::vector<uint64_t> offsets_;   // size n+1
   std::vector<VertexId> neighbors_; // size 2m, sorted per vertex

@@ -1,9 +1,10 @@
 #include "graph/graph_builder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "check/check.h"
 
 namespace cfl {
 
@@ -11,7 +12,7 @@ GraphBuilder::GraphBuilder(uint32_t num_vertices)
     : num_vertices_(num_vertices), labels_(num_vertices, 0) {}
 
 void GraphBuilder::SetLabel(VertexId v, Label l) {
-  assert(v < num_vertices_);
+  CFL_DCHECK_LT(v, num_vertices_) << " SetLabel on out-of-range vertex";
   labels_[v] = l;
 }
 

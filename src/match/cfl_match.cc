@@ -3,6 +3,8 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "check/check.h"
+#include "check/validate.h"
 #include "cpi/root_select.h"
 #include "decomp/cfl_decomposition.h"
 #include "decomp/two_core.h"
@@ -31,7 +33,12 @@ class WallTimer {
 }  // namespace
 
 CflMatcher::CflMatcher(const Graph& data)
-    : data_(data), label_degree_index_(data), cpi_builder_(data) {}
+    : data_(data), label_degree_index_(data), cpi_builder_(data) {
+  if (check::DebugValidationEnabled()) {
+    ValidationResult r = ValidateGraph(data);
+    CFL_CHECK(r.ok) << " — data graph invalid: " << r.error;
+  }
+}
 
 double CflMatcher::EstimateEmbeddings(const Graph& q) {
   std::vector<VertexId> core = TwoCoreVertices(q);
@@ -71,6 +78,15 @@ MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
   result.build_seconds = phase_timer.Lap();
   result.index_entries = cpi.SizeInEntries();
 
+  // Debug validation (CFL_VALIDATE=1 / CFL_FORCE_VALIDATE): re-check the
+  // structures enumeration will trust blindly; see check/validate.h.
+  if (check::DebugValidationEnabled()) {
+    ValidationResult r = ValidateDecomposition(q, decomposition);
+    CFL_CHECK(r.ok) << " — decomposition invalid: " << r.error;
+    r = ValidateCpi(q, data_, cpi);
+    CFL_CHECK(r.ok) << " — CPI invalid: " << r.error;
+  }
+
   if (cpi.HasEmptyCandidateSet()) {
     result.total_seconds = total_timer.Lap();
     return result;
@@ -109,11 +125,18 @@ MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
         });
   } else {
     // Enumeration mode: expand leaf assignments and invoke the callback.
+    const bool validate_embeddings = check::DebugValidationEnabled();
     status = EnumeratePartial(
         data_, cpi, order.steps, state, deadline, [&]() {
           EnumerateStatus leaf_status = leaf_matcher.EnumerateEmbeddings(
               data_, state, deadline, [&]() {
                 ++result.embeddings;
+                if (validate_embeddings) {
+                  ValidationResult r =
+                      ValidateEmbedding(q, data_, state.mapping);
+                  CFL_CHECK(r.ok) << " — emitted embedding invalid: "
+                                  << r.error;
+                }
                 bool keep = options.on_embedding(state.mapping);
                 return keep && result.embeddings < cap;
               });

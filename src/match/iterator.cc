@@ -1,7 +1,6 @@
 #include "match/iterator.h"
 
-#include <cassert>
-
+#include "check/check.h"
 #include "cpi/candidate_filter.h"
 #include "cpi/cpi_builder.h"
 #include "cpi/root_select.h"
@@ -48,7 +47,8 @@ bool StepEnumerator::Next() {
     state_->mapping[u] = kInvalidVertex;
     bound_ = depth;
   } else {
-    assert(bound_ == 0);
+    CFL_DCHECK_EQ(bound_, 0u)
+        << " StepEnumerator::Next resumed with a partial binding";
     depth = 0;
     cursor_[0] = 0;
   }
@@ -149,7 +149,8 @@ bool LeafEnumerator::Next() {
     state_->mapping[u] = kInvalidVertex;
     bound_ = depth;
   } else {
-    assert(bound_ == 0);
+    CFL_DCHECK_EQ(bound_, 0u)
+        << " LeafEnumerator::Next resumed with a partial binding";
     depth = 0;
     cursor_[0] = 0;
   }

@@ -1,13 +1,14 @@
 #include "order/cardinality.h"
 
-#include <cassert>
 #include <functional>
+
+#include "check/check.h"
 
 namespace cfl {
 
 std::vector<double> PathSuffixCardinalities(const Cpi& cpi,
                                             const std::vector<VertexId>& path) {
-  assert(!path.empty());
+  CFL_DCHECK(!path.empty()) << " cardinality of an empty path is undefined";
   const size_t k = path.size();
   std::vector<double> suffix(k, 0.0);
 

@@ -1,8 +1,8 @@
 #include "order/matching_order.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "check/check.h"
 #include "order/cardinality.h"
 #include "order/path_enum.h"
 #include "order/path_order.h"
@@ -83,7 +83,9 @@ MatchingOrder ComputeMatchingOrder(const Graph& q, const Cpi& cpi,
   // --- Core-match order -------------------------------------------------
   std::vector<bool> in_core(n, false);
   for (VertexId v : decomposition.core) in_core[v] = true;
-  assert(in_core[tree.root]);
+  CFL_DCHECK(in_core[tree.root])
+      << " root " << tree.root << " must be a core vertex (A.6 selects the"
+      << " root from the core-set)";
   {
     std::vector<std::vector<VertexId>> paths =
         RootToLeafPaths(tree, tree.root, in_core);

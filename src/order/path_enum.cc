@@ -1,12 +1,13 @@
 #include "order/path_enum.h"
 
-#include <cassert>
+#include "check/check.h"
 
 namespace cfl {
 
 std::vector<std::vector<VertexId>> RootToLeafPaths(
     const BfsTree& tree, VertexId start, const std::vector<bool>& include) {
-  assert(include[start]);
+  CFL_DCHECK(include[start])
+      << " path enumeration started at excluded vertex " << start;
   std::vector<std::vector<VertexId>> paths;
   // Iterative DFS carrying the current path.
   std::vector<VertexId> path;

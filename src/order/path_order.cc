@@ -1,10 +1,10 @@
 #include "order/path_order.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <unordered_set>
 
+#include "check/check.h"
 #include "order/cardinality.h"
 
 namespace cfl {
@@ -13,7 +13,7 @@ std::vector<VertexId> OrderPaths(
     const Cpi& cpi, const std::vector<std::vector<VertexId>>& paths,
     const std::vector<NonTreeEdge>& non_tree_edges,
     const std::vector<VertexId>& seed_sequence) {
-  assert(!paths.empty());
+  CFL_DCHECK(!paths.empty()) << " ordering an empty path set";
 
   // Suffix cardinalities per path, computed once (the CPI is immutable).
   std::vector<std::vector<double>> suffix(paths.size());
@@ -67,7 +67,9 @@ std::vector<VertexId> OrderPaths(
              in_seq.count(paths[i][connect + 1])) {
         ++connect;
       }
-      assert(in_seq.count(paths[i][connect]));
+      CFL_DCHECK_GT(in_seq.count(paths[i][connect]), 0u)
+          << " path " << i << " does not connect to the sequence at depth "
+          << connect << "; every path shares at least its root";
       VertexId u = paths[i][connect];
       double denom =
           std::max<size_t>(1, cpi.Candidates(u).size());
@@ -78,7 +80,8 @@ std::vector<VertexId> OrderPaths(
         best_connect = connect;
       }
     }
-    assert(best < paths.size());
+    CFL_DCHECK_LT(best, paths.size())
+        << " no unused path selected with " << remaining << " remaining";
     for (size_t j = best_connect + 1; j < paths[best].size(); ++j) {
       out.push_back(paths[best][j]);
       in_seq.insert(paths[best][j]);

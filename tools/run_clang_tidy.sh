@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit under src/, using the compilation database of an
+# existing build directory.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+# BUILD_DIR defaults to the first of build-release/ build/ that contains a
+# compile_commands.json (every configure exports one; see CMakeLists.txt).
+# Exits non-zero if clang-tidy reports any warning promoted to error by the
+# WarningsAsErrors list in .clang-tidy, so CI can gate on it.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH (set CLANG_TIDY to" \
+       "override); install clang-tidy to run the static-analysis gate" >&2
+  exit 2
+fi
+
+build_dir=""
+extra_args=()
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  build_dir="$1"
+  shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+  extra_args=("$@")
+fi
+if [[ -z "${build_dir}" ]]; then
+  for candidate in "${repo_root}/build-release" "${repo_root}/build"; do
+    if [[ -f "${candidate}/compile_commands.json" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: no compile_commands.json found; configure first," \
+       "e.g.: cmake --preset release" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)
+echo "clang-tidy (${tidy_bin}) over ${#sources[@]} files" \
+     "using ${build_dir}/compile_commands.json"
+
+status=0
+for source in "${sources[@]}"; do
+  if ! "${tidy_bin}" -p "${build_dir}" --quiet "${extra_args[@]}" \
+       "${source}"; then
+    status=1
+  fi
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "run_clang_tidy.sh: clang-tidy reported errors" >&2
+fi
+exit ${status}
