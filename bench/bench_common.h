@@ -25,6 +25,7 @@
 #include "harness/runner.h"
 #include "harness/table.h"
 #include "match/engine.h"
+#include "parallel/parallel_match.h"
 
 namespace cfl::bench {
 
@@ -33,6 +34,7 @@ struct Config {
   uint32_t queries_per_set = 8;
   double set_budget_seconds = 5.0;
   uint64_t max_embeddings = 100'000;  // the paper's default #embeddings
+  uint32_t threads = 1;               // CFL-Match enumeration threads
 };
 
 inline Config LoadConfig() {
@@ -40,6 +42,7 @@ inline Config LoadConfig() {
   c.scale = BenchScale(c.scale);
   c.queries_per_set = BenchQueries(c.queries_per_set);
   c.set_budget_seconds = BenchTimeLimitSeconds(c.set_budget_seconds);
+  c.threads = BenchThreads(c.threads);
   return c;
 }
 
@@ -47,7 +50,17 @@ inline RunConfig MakeRunConfig(const Config& c) {
   RunConfig rc;
   rc.per_query.max_embeddings = c.max_embeddings;
   rc.set_budget_seconds = c.set_budget_seconds;
+  rc.threads = c.threads;
   return rc;
+}
+
+// The engine every bench means by "CFL-Match" under the current config:
+// the serial matcher at 1 thread, the root-partitioned parallel matcher
+// (identical counts, same MatchLimits contract) when CFL_BENCH_THREADS > 1.
+inline std::unique_ptr<SubgraphEngine> MakeDefaultCflEngine(const Graph& g,
+                                                            const Config& c) {
+  if (c.threads > 1) return MakeParallelCflMatch(g, c.threads);
+  return MakeCflMatch(g);
 }
 
 // Paper Table 3 query sizes: Human (and the large-graph appendix datasets)
@@ -120,7 +133,8 @@ inline void PrintPreamble(const std::string& artifact,
             << "config: scale=" << c.scale
             << " queries/set=" << c.queries_per_set
             << " set-budget=" << c.set_budget_seconds << "s"
-            << " #embeddings=" << c.max_embeddings << "\n"
+            << " #embeddings=" << c.max_embeddings
+            << " threads=" << c.threads << "\n"
             << "(times are avg ms per query; 'INF' = query set exceeded its "
                "budget, as in the paper)\n\n";
 }

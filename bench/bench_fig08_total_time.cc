@@ -20,7 +20,7 @@ void RunDataset(const std::string& dataset, const Config& config) {
   std::vector<std::unique_ptr<SubgraphEngine>> engines;
   engines.push_back(MakeQuickSi(g));
   engines.push_back(MakeTurboIso(g));
-  engines.push_back(MakeCflMatch(g));
+  engines.push_back(MakeDefaultCflEngine(g, config));
 
   Table table({"query set", "QuickSI", "TurboISO", "CFL-Match"});
   for (uint32_t size : QuerySizes(dataset, g)) {

@@ -1,0 +1,134 @@
+// Parallel enumeration scaling: CFL-Match vs the root-partitioned parallel
+// matcher at 1/2/4/8 threads on the paper's default synthetic workload
+// (there is no paper figure for this — the paper's engine is serial; see
+// DESIGN.md "Threading model").
+//
+// Reports per-thread-count avg total/enumeration time, the speedup of both
+// over the 1-thread run, and the embedding counts, which must be identical
+// at every thread count (root ranges partition the search space). A count
+// mismatch exits non-zero, so the ctest smoke invocation doubles as an
+// equivalence check.
+//
+// Flags:
+//   --threads LIST   comma-separated thread counts (default 1,2,4,8)
+//   --smoke          tiny fixed workload for ctest (ignores CFL_BENCH_*)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace cfl::bench {
+namespace {
+
+std::vector<uint32_t> ParseThreadList(const char* csv) {
+  std::vector<uint32_t> out;
+  std::string s(csv);
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) {
+      long parsed = std::atol(s.substr(start, comma - start).c_str());
+      if (parsed > 0) out.push_back(static_cast<uint32_t>(parsed));
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+int Run(const std::vector<uint32_t>& thread_counts, const Config& config) {
+  PrintPreamble("Parallel scaling",
+                "root-partitioned enumeration, 1..N threads", config);
+  Graph g = MakeDefaultSynthetic(config);
+  PrintGraphLine("synthetic", g);
+
+  const uint32_t size = DefaultQuerySize("synthetic", g);
+  std::vector<Graph> queries =
+      MakeQuerySet(g, "synthetic", size, /*sparse=*/false, config);
+  std::cout << "query set " << SetName(size, false) << ", "
+            << queries.size() << " queries\n\n";
+
+  Table table({"threads", "total ms", "enum ms", "speedup(total)",
+               "speedup(enum)", "embeddings"});
+  double base_total = 0.0, base_enum = 0.0;
+  uint64_t base_embeddings = 0;
+  bool have_base = false;
+  bool count_mismatch = false;
+
+  for (uint32_t threads : thread_counts) {
+    Config per_run = config;
+    per_run.threads = threads;
+    std::unique_ptr<SubgraphEngine> engine = MakeDefaultCflEngine(g, per_run);
+    QuerySetResult r = RunQuerySet(*engine, queries, MakeRunConfig(per_run));
+
+    std::vector<std::string> row = {std::to_string(threads),
+                                    FormatResult(r), FormatEnumResult(r)};
+    if (r.IsInf()) {
+      row.insert(row.end(), {"-", "-", "-"});
+    } else {
+      if (!have_base) {
+        base_total = r.avg_total_ms;
+        base_enum = r.avg_enum_ms;
+        base_embeddings = r.total_embeddings;
+        have_base = true;
+        row.insert(row.end(), {"1.00x", "1.00x"});
+      } else {
+        auto speedup = [](double base, double now) {
+          if (now <= 0.0) return std::string("-");
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.2fx", base / now);
+          return std::string(buf);
+        };
+        row.push_back(speedup(base_total, r.avg_total_ms));
+        row.push_back(speedup(base_enum, r.avg_enum_ms));
+        if (r.total_embeddings != base_embeddings) count_mismatch = true;
+      }
+      row.push_back(std::to_string(r.total_embeddings));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  if (count_mismatch) {
+    std::cout << "\nFAIL: embedding counts differ across thread counts\n";
+    return 1;
+  }
+  std::cout << "\nembedding counts identical across all thread counts\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace cfl::bench
+
+int main(int argc, char** argv) {
+  using namespace cfl::bench;
+  std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = ParseThreadList(argv[++i]);
+      if (thread_counts.empty()) {
+        std::cerr << "bad --threads list: " << argv[i] << "\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--threads 1,2,4,8] [--smoke]\n";
+      return 2;
+    }
+  }
+  Config config;
+  if (smoke) {
+    // Fixed tiny workload: a few seconds even single-core, deterministic.
+    config.scale = 0.05;
+    config.queries_per_set = 4;
+    config.set_budget_seconds = 60.0;
+  } else {
+    config = LoadConfig();
+  }
+  return Run(thread_counts, config);
+}

@@ -13,6 +13,13 @@
 // Size is O(|E(G)| x |V(q)|) by construction (each tree edge's lists are a
 // subset of E(G)); `SizeInEntries` / `MemoryBytes` let the scalability
 // experiment (paper Figure 16(d)) report it.
+//
+// Thread-sharing contract: a built Cpi is immutable — it has no mutable
+// members and no const accessor writes any state — so one instance may be
+// read concurrently from any number of enumeration workers without
+// synchronization (parallel/parallel_match.h relies on this). Keep it that
+// way: lazy caches inside const accessors would silently break the
+// parallel matcher.
 
 #ifndef CFL_CPI_CPI_H_
 #define CFL_CPI_CPI_H_

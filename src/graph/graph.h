@@ -18,7 +18,11 @@
 // (as if the graph were expanded), which is exactly what candidate filters
 // must compare against; `StructuralDegree` reports the raw CSR degree.
 //
-// Instances are created through `GraphBuilder` (graph_builder.h).
+// Instances are created through `GraphBuilder` (graph_builder.h). Once
+// built, a Graph is immutable: every accessor is const and writes nothing
+// (no mutable members, no lazy caches), so a single instance is safe to
+// share by reference across concurrent enumeration workers — the parallel
+// matcher (parallel/parallel_match.h) depends on this contract.
 
 #ifndef CFL_GRAPH_GRAPH_H_
 #define CFL_GRAPH_GRAPH_H_

@@ -37,4 +37,11 @@ double BenchTimeLimitSeconds(double fallback) {
   return parsed > 0.0 ? parsed : fallback;
 }
 
+uint32_t BenchThreads(uint32_t fallback) {
+  const char* value = Getenv("CFL_BENCH_THREADS");
+  if (value == nullptr) return fallback;
+  long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<uint32_t>(parsed) : fallback;
+}
+
 }  // namespace cfl

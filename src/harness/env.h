@@ -25,6 +25,11 @@ uint32_t BenchQueries(uint32_t fallback = 20);
 // CFL_BENCH_TIME_LIMIT_S (default `fallback` seconds, typically 20).
 double BenchTimeLimitSeconds(double fallback = 20.0);
 
+// CFL_BENCH_THREADS (default `fallback`, typically 1): enumeration threads
+// for the CFL-Match engine under measurement; > 1 selects the parallel
+// root-partitioned matcher (parallel/parallel_match.h).
+uint32_t BenchThreads(uint32_t fallback = 1);
+
 }  // namespace cfl
 
 #endif  // CFL_HARNESS_ENV_H_

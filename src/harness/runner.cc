@@ -19,19 +19,17 @@ QuerySetResult RunOnce(SubgraphEngine& engine,
 
   double total_s = 0.0, order_s = 0.0, enum_s = 0.0, index_entries = 0.0;
   for (const Graph& q : queries) {
-    if (config.set_budget_seconds > 0.0 &&
-        budget.Seconds() > config.set_budget_seconds) {
+    // One budget read serves both the exhaustion check and the deadline
+    // clamp: reading the clock twice opened a window where the first read
+    // passed but the second produced a remaining <= 0, which the <= 0
+    // deadline convention silently turned into an *unlimited* query.
+    bool exhausted = false;
+    MatchLimits limits = ClampToBudget(
+        config.per_query, config.set_budget_seconds, budget.Seconds(),
+        &exhausted);
+    if (exhausted) {
       out.exhausted_budget = true;
       break;
-    }
-    MatchLimits limits = config.per_query;
-    if (config.set_budget_seconds > 0.0) {
-      // Never let one query run past the set budget.
-      double remaining = config.set_budget_seconds - budget.Seconds();
-      if (limits.time_limit_seconds <= 0.0 ||
-          limits.time_limit_seconds > remaining) {
-        limits.time_limit_seconds = remaining;
-      }
     }
     MatchResult r = engine.Run(q, limits);
     ++out.queries_run;
@@ -58,6 +56,28 @@ QuerySetResult RunOnce(SubgraphEngine& engine,
 
 }  // namespace
 
+MatchLimits ClampToBudget(const MatchLimits& per_query,
+                          double set_budget_seconds, double elapsed_seconds,
+                          bool* exhausted) {
+  *exhausted = false;
+  MatchLimits limits = per_query;
+  if (set_budget_seconds <= 0.0) return limits;
+  const double remaining = set_budget_seconds - elapsed_seconds;
+  // A microscopic positive remainder is as exhausted as a negative one: the
+  // query would only burn its deadline machinery. 1 us is far below the
+  // coarse deadline's resolution, so nothing measurable is cut off.
+  constexpr double kMinRemainingSeconds = 1e-6;
+  if (remaining <= kMinRemainingSeconds) {
+    *exhausted = true;
+    return limits;
+  }
+  if (limits.time_limit_seconds <= 0.0 ||
+      limits.time_limit_seconds > remaining) {
+    limits.time_limit_seconds = remaining;
+  }
+  return limits;
+}
+
 QuerySetResult RunQuerySet(SubgraphEngine& engine,
                            const std::vector<Graph>& queries,
                            const RunConfig& config) {
@@ -68,9 +88,15 @@ QuerySetResult RunQuerySet(SubgraphEngine& engine,
   for (uint32_t rep = 1; rep < std::max(1u, config.repetitions); ++rep) {
     QuerySetResult again = RunOnce(engine, queries, config);
     if (again.IsInf()) continue;  // a spike pushed it over; keep `best`
-    best.avg_total_ms = std::min(best.avg_total_ms, again.avg_total_ms);
-    best.avg_order_ms = std::min(best.avg_order_ms, again.avg_order_ms);
-    best.avg_enum_ms = std::min(best.avg_enum_ms, again.avg_enum_ms);
+    // Keep the fastest repetition *wholesale*: taking per-field minima
+    // could report avg_total_ms from one repetition and avg_enum_ms from
+    // another, so the columns no longer summed consistently.
+    if (again.avg_total_ms < best.avg_total_ms) {
+      best.avg_total_ms = again.avg_total_ms;
+      best.avg_order_ms = again.avg_order_ms;
+      best.avg_enum_ms = again.avg_enum_ms;
+      best.avg_index_entries = again.avg_index_entries;
+    }
   }
   return best;
 }

@@ -36,11 +36,29 @@ struct RunConfig {
   double set_budget_seconds = 0.0;  // <= 0: unlimited, applied per repetition
 
   // The paper runs each query set three times; we likewise repeat and keep
-  // the fastest repetition per metric, which suppresses scheduler spikes
-  // that would otherwise dominate sub-millisecond averages. Counts come
-  // from the first repetition (they are deterministic anyway).
+  // the fastest repetition (the one with the best total time, all of whose
+  // component metrics are reported together), which suppresses scheduler
+  // spikes that would otherwise dominate sub-millisecond averages. Counts
+  // come from the first repetition (they are deterministic anyway).
   uint32_t repetitions = 3;
+
+  // Enumeration threads of the engine under measurement. The runner itself
+  // is engine-agnostic (engines are constructed by the caller, see
+  // bench_common.h's MakeDefaultCflEngine); the knob rides along so bench
+  // binaries construct engines and label output from one config.
+  uint32_t threads = 1;
 };
+
+// Per-query limits for a query starting `elapsed_seconds` into a set with
+// `set_budget_seconds` of wall budget (<= 0 budget: `per_query` unchanged).
+// Shrinks the per-query deadline so the query cannot run past the budget;
+// when the remaining budget is zero or negative — which the <= 0 "no
+// deadline" convention would otherwise read as *unlimited*, letting a query
+// at the budget edge run forever — sets `*exhausted` instead and the query
+// must be skipped. Exposed for the regression tests.
+MatchLimits ClampToBudget(const MatchLimits& per_query,
+                          double set_budget_seconds, double elapsed_seconds,
+                          bool* exhausted);
 
 // Runs `engine` over `queries`; stops early (marking INF) once the set
 // budget is exhausted. Per-query deadline hits also mark the set INF, since

@@ -54,9 +54,8 @@ double CflMatcher::EstimateEmbeddings(const Graph& q) {
   return TreeCardinality(cpi, root, all);
 }
 
-MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
-  MatchResult result;
-  WallTimer total_timer;
+PreparedQuery CflMatcher::Prepare(const Graph& q, const MatchOptions& options) {
+  PreparedQuery prepared;
   WallTimer phase_timer;
 
   // --- Decomposition, root selection, BFS tree --------------------------
@@ -70,34 +69,53 @@ MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
     root_choices = &all_vertices;
   }
   VertexId root = SelectRoot(q, data_, label_degree_index_, *root_choices);
-  CflDecomposition decomposition = DecomposeCfl(q, root);
-  BfsTree tree = BuildBfsTree(q, root);
+  prepared.decomposition = DecomposeCfl(q, root);
+  prepared.tree = BuildBfsTree(q, root);
 
   // --- CPI ----------------------------------------------------------------
-  Cpi cpi = cpi_builder_.Build(q, tree, options.cpi_strategy);
-  result.build_seconds = phase_timer.Lap();
-  result.index_entries = cpi.SizeInEntries();
+  prepared.cpi = cpi_builder_.Build(q, prepared.tree, options.cpi_strategy);
+  prepared.build_seconds = phase_timer.Lap();
 
   // Debug validation (CFL_VALIDATE=1 / CFL_FORCE_VALIDATE): re-check the
   // structures enumeration will trust blindly; see check/validate.h.
   if (check::DebugValidationEnabled()) {
-    ValidationResult r = ValidateDecomposition(q, decomposition);
+    ValidationResult r = ValidateDecomposition(q, prepared.decomposition);
     CFL_CHECK(r.ok) << " — decomposition invalid: " << r.error;
-    r = ValidateCpi(q, data_, cpi);
+    r = ValidateCpi(q, data_, prepared.cpi);
     CFL_CHECK(r.ok) << " — CPI invalid: " << r.error;
   }
 
-  if (cpi.HasEmptyCandidateSet()) {
+  if (prepared.cpi.HasEmptyCandidateSet()) {
+    prepared.no_results = true;
+    return prepared;
+  }
+
+  // --- Matching order ----------------------------------------------------
+  prepared.order =
+      ComputeMatchingOrder(q, prepared.cpi, prepared.decomposition,
+                           options.decomposition, options.ordering);
+  prepared.order_seconds = phase_timer.Lap();
+  return prepared;
+}
+
+MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
+  MatchResult result;
+  WallTimer total_timer;
+
+  PreparedQuery prepared = Prepare(q, options);
+  const Cpi& cpi = prepared.cpi;
+  const MatchingOrder& order = prepared.order;
+  result.build_seconds = prepared.build_seconds;
+  result.order_seconds = prepared.order_seconds;
+  result.index_entries = cpi.SizeInEntries();
+
+  if (prepared.no_results) {
     result.total_seconds = total_timer.Lap();
     return result;
   }
 
-  // --- Matching order ----------------------------------------------------
-  MatchingOrder order = ComputeMatchingOrder(
-      q, cpi, decomposition, options.decomposition, options.ordering);
-  result.order_seconds = phase_timer.Lap();
-
   // --- Enumeration -------------------------------------------------------
+  WallTimer phase_timer;
   Deadline deadline(options.limits.time_limit_seconds);
   EnumeratorState state(q.NumVertices(), data_.NumVertices());
   LeafMatcher leaf_matcher(q, cpi, order.leaves);

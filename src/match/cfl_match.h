@@ -24,6 +24,7 @@
 
 #include "cpi/candidate_filter.h"
 #include "cpi/cpi_builder.h"
+#include "decomp/cfl_decomposition.h"
 #include "graph/graph.h"
 #include "match/embedding.h"
 #include "order/matching_order.h"
@@ -49,6 +50,25 @@ struct MatchOptions {
   EmbeddingCallback on_embedding;
 };
 
+// Everything `Match` computes before enumeration starts: decomposition,
+// BFS tree, CPI, and matching order (steps 1-3 of the pipeline above).
+// Once built, a PreparedQuery is immutable and reads only const state of
+// the data graph, so one instance can be shared by reference across any
+// number of concurrent enumeration workers (see parallel/parallel_match.h).
+struct PreparedQuery {
+  CflDecomposition decomposition;
+  BfsTree tree;
+  Cpi cpi;
+  MatchingOrder order;  // empty when `no_results` is set
+
+  // Some candidate set is empty: the query has no embeddings and the
+  // ordering/enumeration stages were skipped.
+  bool no_results = false;
+
+  double build_seconds = 0.0;  // CPI construction time
+  double order_seconds = 0.0;  // matching-order computation time
+};
+
 class CflMatcher {
  public:
   explicit CflMatcher(const Graph& data);
@@ -61,6 +81,13 @@ class CflMatcher {
   // Extracts (counts, or enumerates via options.on_embedding) all subgraph
   // isomorphic embeddings of `q` in the data graph, subject to limits.
   MatchResult Match(const Graph& q, const MatchOptions& options = {});
+
+  // Runs the pre-enumeration pipeline only (decomposition, root selection,
+  // CPI construction, matching order). `Match` is exactly Prepare followed
+  // by enumeration; the parallel matcher calls Prepare once and enumerates
+  // the shared result from several workers. Not thread-safe: the CPI
+  // builder's scratch is reused across calls.
+  PreparedQuery Prepare(const Graph& q, const MatchOptions& options = {});
 
   // Cheap cardinality estimate: the number of embeddings of q's BFS *tree*
   // in the refined CPI (the same quantity Algorithm 2's cost model ranks

@@ -14,16 +14,29 @@
 #ifndef CFL_MATCH_ENUMERATOR_H_
 #define CFL_MATCH_ENUMERATOR_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "check/check.h"
 #include "cpi/cpi.h"
 #include "graph/graph.h"
 #include "match/embedding.h"
 #include "order/matching_order.h"
 
 namespace cfl {
+
+// Candidate/adjacency cursors are uint32_t; a size that does not fit would
+// silently truncate and skip candidates, so fail loudly instead (a >4B-entry
+// candidate set is far beyond anything the CPI can hold today, but the
+// enumerator must not be the place that quietly caps it).
+inline uint32_t CheckedCandidateCount(size_t size) {
+  CFL_DCHECK_LE(size, std::numeric_limits<uint32_t>::max())
+      << " — candidate/adjacency list exceeds uint32 cursor range";
+  return static_cast<uint32_t>(size);
+}
 
 enum class EnumerateStatus {
   kDone,      // search space exhausted
@@ -54,11 +67,19 @@ struct EnumeratorState {
 // `visit()` once per embedding (state holds the mapping); visit returns
 // false to stop. Steps must be non-empty and connected (each step's parent
 // already matched).
+//
+// `root_begin` / `root_end` restrict the first step to the half-open range
+// of root candidate positions [root_begin, min(root_end, |C(root)|)). The
+// search spaces of disjoint root ranges are disjoint and their union (over a
+// partition of the full range) is exactly the full search space — this is
+// the partitioning axis of the parallel matcher (see parallel/
+// parallel_match.h). The defaults cover the whole candidate set.
 template <typename Visitor>
-EnumerateStatus EnumeratePartial(const Graph& data, const Cpi& cpi,
-                                 std::span<const MatchStep> steps,
-                                 EnumeratorState& state, Deadline& deadline,
-                                 Visitor&& visit) {
+EnumerateStatus EnumeratePartial(
+    const Graph& data, const Cpi& cpi, std::span<const MatchStep> steps,
+    EnumeratorState& state, Deadline& deadline, Visitor&& visit,
+    uint32_t root_begin = 0,
+    uint32_t root_end = std::numeric_limits<uint32_t>::max()) {
   const size_t depth_count = steps.size();
   // Per-depth cursor into the candidate source.
   std::vector<uint32_t> cursor(depth_count, 0);
@@ -70,7 +91,7 @@ EnumerateStatus EnumeratePartial(const Graph& data, const Cpi& cpi,
   };
 
   size_t depth = 0;
-  cursor[0] = 0;
+  cursor[0] = root_begin;
   while (true) {
     if (deadline.ExpiredCoarse()) {
       // Unwind bindings so `state.used` is clean for the caller.
@@ -85,12 +106,13 @@ EnumerateStatus EnumeratePartial(const Graph& data, const Cpi& cpi,
     uint32_t root_count = 0;
     const bool is_root = (depth == 0 && step.parent == kInvalidVertex);
     if (is_root) {
-      root_count = static_cast<uint32_t>(cpi.Candidates(step.u).size());
+      root_count = std::min(
+          CheckedCandidateCount(cpi.Candidates(step.u).size()), root_end);
     } else {
       adjacent = cpi.AdjacentPositions(step.u, state.position[step.parent]);
     }
     const uint32_t limit =
-        is_root ? root_count : static_cast<uint32_t>(adjacent.size());
+        is_root ? root_count : CheckedCandidateCount(adjacent.size());
 
     bool bound = false;
     while (cursor[depth] < limit) {

@@ -83,8 +83,10 @@ class LeafMatcher {
 
   // Reused per-call scratch. CountEmbeddings runs once per partial core+
   // forest embedding — the hot loop of the whole matcher — so it must not
-  // allocate. LeafMatcher is consequently not thread-safe (nor is anything
-  // else about a matching run).
+  // allocate. LeafMatcher is consequently not thread-safe; the parallel
+  // matcher gives each enumeration worker its own copy (copying is cheap:
+  // the grouping vectors plus this scratch), all pointing at the one
+  // shared immutable CPI.
   mutable std::vector<std::vector<std::pair<VertexId, uint32_t>>> avail_;
 };
 

@@ -1,0 +1,172 @@
+#include "parallel/parallel_match.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "match/enumerator.h"
+#include "match/leaf_match.h"
+
+namespace cfl {
+
+namespace {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Lap() {
+    auto now = std::chrono::steady_clock::now();
+    double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Saturating accumulate on the shared embedding budget: leaf-match products
+// can individually saturate at kNoLimit, so a plain fetch_add could wrap.
+// Returns the post-add value.
+uint64_t AtomicSaturatingAdd(std::atomic<uint64_t>& total, uint64_t delta) {
+  uint64_t current = total.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = SaturatingAdd(current, delta);
+  } while (!total.compare_exchange_weak(current, next,
+                                        std::memory_order_relaxed));
+  return next;
+}
+
+}  // namespace
+
+ParallelCflMatcher::ParallelCflMatcher(const Graph& data, uint32_t threads)
+    : serial_(data), pool_(threads) {}
+
+MatchResult ParallelCflMatcher::Match(const Graph& q,
+                                      const MatchOptions& options) {
+  // Enumeration mode: the per-embedding callback is a sequential contract.
+  if (options.on_embedding) return serial_.Match(q, options);
+
+  MatchResult result;
+  WallTimer total_timer;
+
+  PreparedQuery prepared = serial_.Prepare(q, options);
+  const Graph& data = serial_.data();
+  const Cpi& cpi = prepared.cpi;
+  result.build_seconds = prepared.build_seconds;
+  result.order_seconds = prepared.order_seconds;
+  result.index_entries = cpi.SizeInEntries();
+
+  if (prepared.no_results || prepared.order.steps.empty()) {
+    result.total_seconds = total_timer.Lap();
+    return result;
+  }
+
+  WallTimer phase_timer;
+  const std::span<const MatchStep> steps(prepared.order.steps);
+  const uint32_t root_count =
+      CheckedCandidateCount(cpi.Candidates(steps[0].u).size());
+  const uint64_t cap = options.limits.max_embeddings;
+  const bool compressed = data.HasMultiplicities();
+
+  // Shared, all-workers state. `total` is the embedding budget; `stop` is
+  // raised when it crosses the cap so every worker abandons its subtree at
+  // the next visit / next root claim. `next_root` is the work-stealing
+  // cursor. The deadline instant is fixed here, before the fork, so all
+  // workers expire together regardless of when they start.
+  std::atomic<uint32_t> next_root{0};
+  std::atomic<uint64_t> total{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> timed_out{false};
+
+  const Deadline shared_deadline(options.limits.time_limit_seconds);
+  const LeafMatcher leaf_prototype(q, cpi, prepared.order.leaves);
+
+  // Per-worker effort counters, merged in worker order at the barrier.
+  const uint32_t workers = pool_.size();
+  std::vector<uint64_t> tried(workers, 0);
+  std::vector<uint64_t> bound(workers, 0);
+
+  pool_.Run([&](uint32_t worker) {
+    // Private mutable state: search stacks, leaf-match scratch, and the
+    // deadline's coarse-tick cache (same expiry instant as every worker).
+    EnumeratorState state(q.NumVertices(), data.NumVertices());
+    LeafMatcher leaf_matcher = leaf_prototype;
+    Deadline deadline = shared_deadline;
+
+    auto visit = [&]() {
+      uint64_t count = 1;
+      if (compressed) {
+        count = ExpansionFactor(data, state.mapping);
+      }
+      if (leaf_matcher.HasLeaves()) {
+        count = SaturatingMul(count,
+                              leaf_matcher.CountEmbeddings(data, state));
+      }
+      uint64_t after = AtomicSaturatingAdd(total, count);
+      if (after >= cap) {
+        stop.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      return !stop.load(std::memory_order_relaxed);
+    };
+
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint32_t r = next_root.fetch_add(1, std::memory_order_relaxed);
+      if (r >= root_count) break;
+      EnumerateStatus status = EnumeratePartial(
+          data, cpi, steps, state, deadline, visit, r, r + 1);
+      if (status == EnumerateStatus::kTimedOut) {
+        timed_out.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (status == EnumerateStatus::kStopped) break;
+    }
+    tried[worker] = state.candidates_tried;
+    bound[worker] = state.candidates_bound;
+  });
+
+  result.embeddings = total.load(std::memory_order_relaxed);
+  result.timed_out = timed_out.load(std::memory_order_relaxed);
+  result.reached_limit = !result.timed_out && result.embeddings >= cap;
+  for (uint32_t w = 0; w < workers; ++w) {
+    result.candidates_tried += tried[w];
+    result.candidates_bound += bound[w];
+  }
+  result.enumerate_seconds = phase_timer.Lap();
+  result.total_seconds = total_timer.Lap();
+  return result;
+}
+
+namespace {
+
+class ParallelCflEngine : public SubgraphEngine {
+ public:
+  ParallelCflEngine(const Graph& data, uint32_t threads)
+      : name_("CFL-Match-P" + std::to_string(threads == 0 ? 1 : threads)),
+        matcher_(data, threads) {}
+
+  std::string_view name() const override { return name_; }
+
+  MatchResult Run(const Graph& query, const MatchLimits& limits) override {
+    MatchOptions options;
+    options.limits = limits;
+    return matcher_.Match(query, options);
+  }
+
+ private:
+  std::string name_;
+  ParallelCflMatcher matcher_;
+};
+
+}  // namespace
+
+std::unique_ptr<SubgraphEngine> MakeParallelCflMatch(const Graph& data,
+                                                     uint32_t threads) {
+  return std::make_unique<ParallelCflEngine>(data, threads);
+}
+
+}  // namespace cfl

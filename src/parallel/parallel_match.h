@@ -1,0 +1,74 @@
+// Parallel CFL-Match: root-partitioned enumeration over a shared CPI.
+//
+// The CPI decomposes the search space by root candidate: the subtree of
+// embeddings reachable from root candidate position r is independent of
+// every other root candidate (Algorithm 5 backtracks to the root between
+// them and never carries state across). That makes root positions a
+// perfect parallel work unit — the CPI, matching order, and data graph
+// are built once and shared *immutably* by reference, while everything
+// enumeration mutates (EnumeratorState, LeafMatcher scratch, Deadline
+// tick cache) is private to a worker.
+//
+// Work distribution is a work-stealing claim counter: workers grab the
+// next unclaimed root position from a shared atomic cursor, so a skewed
+// root (one candidate hosting most of the search space) only pins the one
+// worker that claimed it while the rest drain the remaining roots.
+//
+// Early-stop semantics match the serial engine's MatchLimits contract:
+//   * max_embeddings — a shared atomic running count; the worker whose
+//     visit crosses the cap raises a stop flag all workers poll. Like the
+//     serial engine, the final count may overshoot the cap by the last
+//     visit's leaf-product; counts are exact whenever the cap is not hit.
+//   * time_limit_seconds — one deadline instant fixed before the fork;
+//     each worker polls a private copy (same expiry, private coarse-tick
+//     cache), so all workers cut off at the same wall-clock moment.
+//
+// Counts and effort counters are merged deterministically at the join
+// barrier (per-worker partials summed in worker order). Without a cap or
+// deadline hit the total is the exact embedding count, identical at any
+// thread count, because the root ranges partition the search space.
+
+#ifndef CFL_PARALLEL_PARALLEL_MATCH_H_
+#define CFL_PARALLEL_PARALLEL_MATCH_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.h"
+#include "match/cfl_match.h"
+#include "match/engine.h"
+#include "parallel/thread_pool.h"
+
+namespace cfl {
+
+class ParallelCflMatcher {
+ public:
+  // `threads` == 0 is clamped to 1; 1 runs inline on the caller (no worker
+  // threads), making the single-threaded configuration genuinely serial.
+  ParallelCflMatcher(const Graph& data, uint32_t threads);
+
+  ParallelCflMatcher(const ParallelCflMatcher&) = delete;
+  ParallelCflMatcher& operator=(const ParallelCflMatcher&) = delete;
+
+  const Graph& data() const { return serial_.data(); }
+  uint32_t threads() const { return pool_.size(); }
+
+  // Same contract as CflMatcher::Match. Counting mode (no on_embedding
+  // callback) is parallelized; enumeration mode falls back to the serial
+  // matcher, because the callback contract (sequential invocation, stop
+  // semantics exact at the cap) cannot be honored from several workers.
+  MatchResult Match(const Graph& q, const MatchOptions& options = {});
+
+ private:
+  CflMatcher serial_;  // Prepare pipeline + enumeration-mode fallback
+  ThreadPool pool_;
+};
+
+// Engine wrapper for the benches, the difftest oracle, and the equivalence
+// tests; named "CFL-Match-P<threads>".
+std::unique_ptr<SubgraphEngine> MakeParallelCflMatch(const Graph& data,
+                                                     uint32_t threads);
+
+}  // namespace cfl
+
+#endif  // CFL_PARALLEL_PARALLEL_MATCH_H_

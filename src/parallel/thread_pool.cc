@@ -1,0 +1,61 @@
+#include "parallel/thread_pool.h"
+
+#include "check/check.h"
+
+namespace cfl {
+
+ThreadPool::ThreadPool(uint32_t threads) : size_(threads == 0 ? 1 : threads) {
+  if (size_ == 1) return;  // inline mode, no worker threads
+  workers_.reserve(size_);
+  for (uint32_t id = 0; id < size_; ++id) {
+    workers_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Run(const std::function<void(uint32_t)>& body) {
+  if (size_ == 1) {
+    body(0);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  CFL_CHECK(pending_ == 0) << " — ThreadPool::Run is not reentrant";
+  body_ = &body;
+  pending_ = size_;
+  ++generation_;
+  work_ready_.notify_all();
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker_id) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(uint32_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      body = body_;
+    }
+    (*body)(worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace cfl

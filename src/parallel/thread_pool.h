@@ -1,0 +1,63 @@
+// Minimal fork-join thread pool for the parallel enumeration layer.
+//
+// The enumeration workload is a classic parallel region: N workers run the
+// same body (with a worker id), all finish, results are merged at the
+// barrier. `ThreadPool::Run` models exactly that — it blocks until every
+// worker has returned, so the caller observes a clean fork/join boundary
+// and never needs per-task futures.
+//
+// Workers are started once and reused across Run calls (a matcher serves
+// whole query sets; respawning threads per query would dominate small
+// queries). A pool of size 1 spawns no threads at all and runs the body
+// inline on the caller, so a single-threaded ParallelCflMatcher is
+// genuinely serial — same stacks, same determinism, trivially debuggable.
+
+#ifndef CFL_PARALLEL_THREAD_POOL_H_
+#define CFL_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cfl {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 is clamped to 1. The pool never oversubscribes on its
+  // own: callers pick the count (benches sweep it; engines default to 1).
+  explicit ThreadPool(uint32_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t size() const { return size_; }
+
+  // Runs body(worker_id) for worker_id in [0, size()) and returns once all
+  // workers have finished (the join barrier). `body` must be safe to call
+  // concurrently from size() threads and must not throw. Not reentrant:
+  // one Run at a time per pool.
+  void Run(const std::function<void(uint32_t)>& body);
+
+ private:
+  void WorkerLoop(uint32_t worker_id);
+
+  const uint32_t size_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(uint32_t)>* body_ = nullptr;  // valid during a Run
+  uint64_t generation_ = 0;  // bumped per Run; wakes workers exactly once
+  uint32_t pending_ = 0;     // workers still inside the current Run
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;  // empty when size_ == 1
+};
+
+}  // namespace cfl
+
+#endif  // CFL_PARALLEL_THREAD_POOL_H_

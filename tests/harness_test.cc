@@ -3,8 +3,11 @@
 
 #include "harness/runner.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -83,6 +86,111 @@ TEST(RunnerTest, AveragesOverQueries) {
   EXPECT_EQ(r.total_embeddings, 6u);
   EXPECT_GE(r.avg_total_ms, 0.0);
   EXPECT_EQ(FormatResult(r), FormatMillis(r.avg_total_ms));
+}
+
+// Engine stub returning scripted MatchResults; records the limits it was
+// handed so tests can assert on the runner's budget clamping.
+class ScriptedEngine : public SubgraphEngine {
+ public:
+  explicit ScriptedEngine(std::vector<MatchResult> script)
+      : script_(std::move(script)) {}
+
+  std::string_view name() const override { return "scripted"; }
+
+  MatchResult Run(const Graph&, const MatchLimits& limits) override {
+    received_limits.push_back(limits);
+    MatchResult r = script_[std::min(calls_, script_.size() - 1)];
+    ++calls_;
+    return r;
+  }
+
+  std::vector<MatchLimits> received_limits;
+
+ private:
+  std::vector<MatchResult> script_;
+  size_t calls_ = 0;
+};
+
+MatchResult TimedResult(double total_s, double order_s, double enum_s) {
+  MatchResult r;
+  r.total_seconds = total_s;
+  r.order_seconds = order_s;
+  r.enumerate_seconds = enum_s;
+  return r;
+}
+
+// Regression (runner.cc): with the budget nearly spent, `remaining` could be
+// <= 0 and was assigned to time_limit_seconds, whose <= 0 convention means
+// *unlimited* — a query starting at the budget edge ran forever.
+TEST(ClampToBudgetTest, ExhaustedBudgetNeverYieldsUnlimitedDeadline) {
+  MatchLimits per_query;  // no per-query deadline of its own
+  bool exhausted = false;
+
+  // Budget exactly spent and overspent: the query must be skipped, not
+  // handed a <= 0 ("unlimited") deadline.
+  ClampToBudget(per_query, 1.0, 1.0, &exhausted);
+  EXPECT_TRUE(exhausted);
+  ClampToBudget(per_query, 1.0, 2.5, &exhausted);
+  EXPECT_TRUE(exhausted);
+  // Microscopic positive remainder: also exhausted (below the deadline's
+  // resolution).
+  ClampToBudget(per_query, 1.0, 1.0 - 1e-9, &exhausted);
+  EXPECT_TRUE(exhausted);
+
+  // Meaningful remainder: clamped to it, strictly positive.
+  MatchLimits clamped = ClampToBudget(per_query, 1.0, 0.4, &exhausted);
+  EXPECT_FALSE(exhausted);
+  EXPECT_NEAR(clamped.time_limit_seconds, 0.6, 1e-12);
+  EXPECT_GT(clamped.time_limit_seconds, 0.0);
+}
+
+TEST(ClampToBudgetTest, TighterPerQueryDeadlineIsKept) {
+  MatchLimits per_query;
+  per_query.time_limit_seconds = 0.1;
+  bool exhausted = false;
+  MatchLimits clamped = ClampToBudget(per_query, 10.0, 1.0, &exhausted);
+  EXPECT_FALSE(exhausted);
+  EXPECT_DOUBLE_EQ(clamped.time_limit_seconds, 0.1);  // 0.1 < 9.0 remaining
+
+  // No set budget: limits pass through untouched.
+  clamped = ClampToBudget(per_query, 0.0, 123.0, &exhausted);
+  EXPECT_FALSE(exhausted);
+  EXPECT_DOUBLE_EQ(clamped.time_limit_seconds, 0.1);
+}
+
+TEST(RunnerTest, QueriesNeverReceiveNonPositiveDeadlineUnderBudget) {
+  Graph g = testing::Figure3Data();
+  std::vector<Graph> queries(3, testing::Figure3Query());
+  ScriptedEngine engine({TimedResult(0.01, 0.0, 0.01)});
+  RunConfig config;
+  config.set_budget_seconds = 1e-9;  // budget smaller than clock resolution
+  config.repetitions = 1;
+  QuerySetResult r = RunQuerySet(engine, queries, config);
+  // Whether or not any query squeaked in before the budget check, none may
+  // have been handed the "unlimited" <= 0 deadline.
+  for (const MatchLimits& limits : engine.received_limits) {
+    EXPECT_GT(limits.time_limit_seconds, 0.0);
+  }
+  EXPECT_TRUE(r.IsInf());
+}
+
+// Regression (runner.cc): repetitions used to take per-field minima, so
+// avg_total_ms could come from a different repetition than avg_enum_ms and
+// the columns stopped summing consistently.
+TEST(RunnerTest, BestRepetitionIsReportedWholesale) {
+  Graph g = testing::Figure3Data();
+  std::vector<Graph> queries = {testing::Figure3Query()};
+  // Rep 1: total 10ms (order 1, enum 9). Rep 2: total 8ms (order 4, enum 4).
+  // Per-field minima would fabricate (total 8, order 1, enum 4); the best
+  // rep wholesale is rep 2.
+  ScriptedEngine engine({TimedResult(0.010, 0.001, 0.009),
+                         TimedResult(0.008, 0.004, 0.004)});
+  RunConfig config;
+  config.repetitions = 2;
+  QuerySetResult r = RunQuerySet(engine, queries, config);
+  EXPECT_DOUBLE_EQ(r.avg_total_ms, 8.0);
+  EXPECT_DOUBLE_EQ(r.avg_order_ms, 4.0);
+  EXPECT_DOUBLE_EQ(r.avg_enum_ms, 4.0);
 }
 
 TEST(RunnerTest, BudgetExhaustionIsInf) {

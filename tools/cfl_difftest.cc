@@ -40,6 +40,7 @@
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "match/engine.h"
+#include "parallel/parallel_match.h"
 
 namespace cfl {
 namespace {
@@ -51,7 +52,8 @@ struct Options {
   uint32_t max_query_vertices = 10;
   uint64_t max_embeddings = 100'000;
   double time_limit_seconds = 10.0;
-  std::vector<std::string> engines = {"cfl", "vf2", "quicksi", "turboiso"};
+  std::vector<std::string> engines = {"cfl", "cfl-par4", "vf2", "quicksi",
+                                      "turboiso"};
   bool brute_force = true;
   bool verbose = false;
 };
@@ -59,6 +61,8 @@ struct Options {
 std::unique_ptr<SubgraphEngine> MakeEngineByName(const std::string& name,
                                                  const Graph& data) {
   if (name == "cfl") return MakeCflMatch(data);
+  if (name == "cfl-par2") return MakeParallelCflMatch(data, 2);
+  if (name == "cfl-par4") return MakeParallelCflMatch(data, 4);
   if (name == "cfl-td") return MakeCflMatchTd(data);
   if (name == "cfl-naive") return MakeCflMatchNaive(data);
   if (name == "cf") return MakeCfMatch(data);
@@ -72,8 +76,9 @@ std::unique_ptr<SubgraphEngine> MakeEngineByName(const std::string& name,
 }
 
 const std::vector<std::string> kAllEngines = {
-    "cfl",       "cfl-td", "cfl-naive", "cf",      "match",
-    "bfs-order", "vf2",    "quicksi",   "turboiso"};
+    "cfl",   "cfl-par2", "cfl-par4", "cfl-td",   "cfl-naive",
+    "cf",    "match",    "bfs-order", "vf2",     "quicksi",
+    "turboiso"};
 
 // Exponential but obviously correct; only invoked on tiny pairs.
 uint64_t BruteForceCount(const Graph& q, const Graph& g, uint64_t limit) {
@@ -302,9 +307,10 @@ int Usage(const char* argv0) {
       << "  --query-vertices N  max query vertices (10)\n"
       << "  --max-embeddings M  per-pair embedding cap (100000)\n"
       << "  --time-limit SEC    per-engine time limit (10)\n"
-      << "  --engines LIST      comma list of: cfl cfl-td cfl-naive cf\n"
-      << "                      match bfs-order vf2 quicksi turboiso\n"
-      << "                      ullmann (default: cfl,vf2,quicksi,turboiso)\n"
+      << "  --engines LIST      comma list of: cfl cfl-par2 cfl-par4 cfl-td\n"
+      << "                      cfl-naive cf match bfs-order vf2 quicksi\n"
+      << "                      turboiso ullmann\n"
+      << "                      (default: cfl,cfl-par4,vf2,quicksi,turboiso)\n"
       << "  --all-engines       every CFL variant plus all baselines\n"
       << "  --no-brute-force    skip the brute-force oracle on tiny pairs\n"
       << "  --verbose           per-pair progress\n";
