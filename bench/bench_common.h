@@ -6,12 +6,16 @@
 //   CFL_BENCH_QUERIES      queries per query set (paper: 100)
 //   CFL_BENCH_TIME_LIMIT_S per-query-set budget standing in for the paper's
 //                          5-hour limit (exceeding it prints "INF")
+//   CFL_BENCH_JSON         path of a JSON-lines file; when set, every
+//                          measured query-set result is also appended there
+//                          as one machine-readable JSON object
 // Defaults keep the whole suite at minutes scale.
 
 #ifndef CFL_BENCH_BENCH_COMMON_H_
 #define CFL_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -125,6 +129,51 @@ inline Graph MakeDefaultSynthetic(const Config& c, uint64_t seed = 20160626) {
 inline Graph MakeBenchGraph(const std::string& dataset, const Config& c) {
   if (dataset == "synthetic") return MakeDefaultSynthetic(c);
   return MakeDatasetLike(dataset, c.scale);
+}
+
+// Appends one JSON object (one line) describing a measured query-set result
+// to the CFL_BENCH_JSON file, if that knob is set. The schema is flat on
+// purpose so downstream tooling can `jq`/pandas it without schema files:
+//   {"artifact":..., "dataset":..., "set":..., "engine":..., "scale":...,
+//    "threads":..., "queries_run":..., "inf":..., "avg_total_ms":...,
+//    "avg_order_ms":..., "avg_enum_ms":..., "avg_index_entries":...,
+//    "total_embeddings":...}
+inline void AppendJsonResult(const std::string& artifact,
+                             const std::string& dataset,
+                             const std::string& set,
+                             const std::string& engine, const Config& c,
+                             const QuerySetResult& r) {
+  const std::string path = BenchJsonPath();
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::cerr << "warning: cannot append to CFL_BENCH_JSON=" << path << "\n";
+    return;
+  }
+  out << "{\"artifact\":\"" << artifact << "\",\"dataset\":\"" << dataset
+      << "\",\"set\":\"" << set << "\",\"engine\":\"" << engine
+      << "\",\"scale\":" << c.scale << ",\"threads\":" << c.threads
+      << ",\"queries_run\":" << r.queries_run
+      << ",\"inf\":" << (r.IsInf() ? "true" : "false")
+      << ",\"avg_total_ms\":" << r.avg_total_ms
+      << ",\"avg_order_ms\":" << r.avg_order_ms
+      << ",\"avg_enum_ms\":" << r.avg_enum_ms
+      << ",\"avg_index_entries\":" << r.avg_index_entries
+      << ",\"total_embeddings\":" << r.total_embeddings << "}\n";
+}
+
+// Runs `engine` over `queries` and, when CFL_BENCH_JSON is set, appends the
+// result as one JSON line before returning it for table formatting.
+inline QuerySetResult RunAndRecord(const std::string& artifact,
+                                   const std::string& dataset,
+                                   const std::string& set,
+                                   const std::string& engine_name,
+                                   SubgraphEngine& engine,
+                                   const std::vector<Graph>& queries,
+                                   const Config& c) {
+  QuerySetResult r = RunQuerySet(engine, queries, MakeRunConfig(c));
+  AppendJsonResult(artifact, dataset, set, engine_name, c, r);
+  return r;
 }
 
 inline void PrintPreamble(const std::string& artifact,

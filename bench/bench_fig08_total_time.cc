@@ -17,10 +17,10 @@ void RunDataset(const std::string& dataset, const Config& config) {
   Graph g = MakeBenchGraph(dataset, config);
   PrintGraphLine(dataset, g);
 
-  std::vector<std::unique_ptr<SubgraphEngine>> engines;
-  engines.push_back(MakeQuickSi(g));
-  engines.push_back(MakeTurboIso(g));
-  engines.push_back(MakeDefaultCflEngine(g, config));
+  std::vector<std::pair<std::string, std::unique_ptr<SubgraphEngine>>> engines;
+  engines.emplace_back("QuickSI", MakeQuickSi(g));
+  engines.emplace_back("TurboISO", MakeTurboIso(g));
+  engines.emplace_back("CFL-Match", MakeDefaultCflEngine(g, config));
 
   Table table({"query set", "QuickSI", "TurboISO", "CFL-Match"});
   for (uint32_t size : QuerySizes(dataset, g)) {
@@ -28,9 +28,9 @@ void RunDataset(const std::string& dataset, const Config& config) {
       std::vector<Graph> queries =
           MakeQuerySet(g, dataset, size, sparse, config);
       std::vector<std::string> row = {SetName(size, sparse)};
-      for (const auto& engine : engines) {
-        row.push_back(
-            FormatResult(RunQuerySet(*engine, queries, MakeRunConfig(config))));
+      for (const auto& [name, engine] : engines) {
+        row.push_back(FormatResult(RunAndRecord(
+            "fig08", dataset, row[0], name, *engine, queries, config)));
       }
       table.AddRow(std::move(row));
     }

@@ -17,9 +17,9 @@ void RunDataset(const std::string& dataset, const Config& config) {
   Graph g = MakeBenchGraph(dataset, config);
   PrintGraphLine(dataset, g);
 
-  std::vector<std::unique_ptr<SubgraphEngine>> engines;
-  engines.push_back(MakeTurboIso(g));
-  engines.push_back(MakeCflMatch(g));
+  std::vector<std::pair<std::string, std::unique_ptr<SubgraphEngine>>> engines;
+  engines.emplace_back("TurboISO", MakeTurboIso(g));
+  engines.emplace_back("CFL-Match", MakeCflMatch(g));
 
   Table table({"query set", "TurboISO", "CFL-Match"});
   for (uint32_t size : QuerySizes(dataset, g)) {
@@ -27,9 +27,9 @@ void RunDataset(const std::string& dataset, const Config& config) {
       std::vector<Graph> queries =
           MakeQuerySet(g, dataset, size, sparse, config);
       std::vector<std::string> row = {SetName(size, sparse)};
-      for (const auto& engine : engines) {
-        row.push_back(FormatOrderResult(
-            RunQuerySet(*engine, queries, MakeRunConfig(config))));
+      for (const auto& [name, engine] : engines) {
+        row.push_back(FormatOrderResult(RunAndRecord(
+            "fig10", dataset, row[0], name, *engine, queries, config)));
       }
       table.AddRow(std::move(row));
     }

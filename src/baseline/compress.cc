@@ -45,7 +45,15 @@ CompressedGraph CompressKept(const Graph& g, const std::vector<bool>& keep) {
         if (keep[w]) key.push_back(w);
       }
       if (include_self) {
-        key.insert(std::lower_bound(key.begin(), key.end(), v), v);
+        // Keep the key in the adjacency's (label, id) order so set equality
+        // stays equivalent to sequence equality.
+        key.insert(std::lower_bound(key.begin(), key.end(), v,
+                                    [&](VertexId a, VertexId b) {
+                                      return g.label(a) < g.label(b) ||
+                                             (g.label(a) == g.label(b) &&
+                                              a < b);
+                                    }),
+                   v);
       }
       uint64_t h = HashKey(g.label(v), key);
       std::vector<Bucket>& slot = buckets[h];

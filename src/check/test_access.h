@@ -12,6 +12,7 @@
 #define CFL_CHECK_TEST_ACCESS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cpi/cpi.h"
@@ -43,14 +44,39 @@ struct GraphTestAccess {
 };
 
 struct CpiTestAccess {
-  static std::vector<std::vector<VertexId>>& Candidates(Cpi& cpi) {
-    return cpi.candidates_;
+  // Arenas and their offset tables (see cpi.h for the layout). Tests mutate
+  // entries in place; resizing an arena without fixing every downstream
+  // start table invalidates other vertices' slices.
+  static std::vector<VertexId>& CandArena(Cpi& cpi) { return cpi.cand_arena_; }
+  static std::vector<uint64_t>& CandOffsets(Cpi& cpi) {
+    return cpi.cand_offsets_;
   }
-  static std::vector<std::vector<uint32_t>>& AdjOffsets(Cpi& cpi) {
-    return cpi.adj_offsets_;
+  static std::vector<uint32_t>& AdjOffArena(Cpi& cpi) {
+    return cpi.adj_off_arena_;
   }
-  static std::vector<std::vector<uint32_t>>& Adj(Cpi& cpi) {
-    return cpi.adj_;
+  static std::vector<uint64_t>& AdjOffStart(Cpi& cpi) {
+    return cpi.adj_off_start_;
+  }
+  static std::vector<uint32_t>& AdjEntryArena(Cpi& cpi) {
+    return cpi.adj_entry_arena_;
+  }
+  static std::vector<uint64_t>& AdjEntryStart(Cpi& cpi) {
+    return cpi.adj_entry_start_;
+  }
+
+  // Mutable view of u's candidate slice.
+  static std::span<VertexId> Candidates(Cpi& cpi, VertexId u) {
+    return {cpi.cand_arena_.data() + cpi.cand_offsets_[u],
+            cpi.cand_arena_.data() + cpi.cand_offsets_[u + 1]};
+  }
+  // Mutable views of u's adjacency offset / entry slices.
+  static std::span<uint32_t> AdjOffsets(Cpi& cpi, VertexId u) {
+    return {cpi.adj_off_arena_.data() + cpi.adj_off_start_[u],
+            cpi.adj_off_arena_.data() + cpi.adj_off_start_[u + 1]};
+  }
+  static std::span<uint32_t> AdjEntries(Cpi& cpi, VertexId u) {
+    return {cpi.adj_entry_arena_.data() + cpi.adj_entry_start_[u],
+            cpi.adj_entry_arena_.data() + cpi.adj_entry_start_[u + 1]};
   }
 };
 

@@ -55,7 +55,9 @@ ValidationResult ValidateGraph(const Graph& g) {
                 " but multiplicities sum to ", effective_n);
   }
 
-  // Adjacency: sortedness, range, symmetry, self-loop rules, edge count.
+  // Adjacency: (label, id) sortedness, range, symmetry, self-loop rules,
+  // edge count. Symmetry uses a linear find so it stays meaningful even when
+  // the other list's ordering is corrupted.
   uint64_t arcs = 0;
   uint64_t loops = 0;
   for (VertexId v = 0; v < n; ++v) {
@@ -66,10 +68,12 @@ ValidationResult ValidateGraph(const Graph& g) {
         return Fail("graph: neighbor ", nb[i], " of vertex ", v,
                     " out of range [0, ", n, ")");
       }
-      if (i > 0 && nb[i] <= nb[i - 1]) {
+      if (i > 0 && (g.label(nb[i]) < g.label(nb[i - 1]) ||
+                    (g.label(nb[i]) == g.label(nb[i - 1]) &&
+                     nb[i] <= nb[i - 1]))) {
         return Fail("graph: adjacency of vertex ", v,
-                    " not strictly ascending at index ", i, " (", nb[i - 1],
-                    " then ", nb[i], ")");
+                    " not strictly ascending by (label, id) at index ", i,
+                    " (", nb[i - 1], " then ", nb[i], ")");
       }
     }
     for (VertexId w : nb) {
@@ -84,7 +88,7 @@ ValidationResult ValidateGraph(const Graph& g) {
         continue;
       }
       std::span<const VertexId> back = g.Neighbors(w);
-      if (!std::binary_search(back.begin(), back.end(), v)) {
+      if (std::find(back.begin(), back.end(), v) == back.end()) {
         return Fail("graph: asymmetric adjacency: ", w, " in N(", v,
                     ") but ", v, " not in N(", w, ")");
       }
@@ -94,6 +98,56 @@ ValidationResult ValidateGraph(const Graph& g) {
   if (g.NumEdges() != expected_edges) {
     return Fail("graph: NumEdges() = ", g.NumEdges(),
                 " but adjacency lists imply ", expected_edges);
+  }
+
+  // Label-run index: per vertex, runs must mark exactly the label boundaries
+  // of the (label, id)-sorted adjacency.
+  for (VertexId v = 0; v < n; ++v) {
+    std::span<const VertexId> nb = g.Neighbors(v);
+    std::span<const Graph::LabelRun> runs = g.AdjacencyLabelRuns(v);
+    size_t r = 0;
+    for (size_t i = 0; i < nb.size(); ++i) {
+      if (i == 0 || g.label(nb[i]) != g.label(nb[i - 1])) {
+        if (r >= runs.size() || runs[r].label != g.label(nb[i]) ||
+            runs[r].begin != i) {
+          return Fail("graph: label-run index of vertex ", v,
+                      " disagrees with adjacency at entry ", i, " (label ",
+                      g.label(nb[i]), ")");
+        }
+        ++r;
+      }
+    }
+    if (r != runs.size()) {
+      return Fail("graph: label-run index of vertex ", v, " has ",
+                  runs.size(), " runs; adjacency implies ", r);
+    }
+  }
+
+  // Hub-probe rows: membership must match the threshold, and each row must
+  // encode exactly the vertex's neighbor set.
+  if (g.HasHubIndex()) {
+    for (VertexId v = 0; v < n; ++v) {
+      const bool should = g.StructuralDegree(v) >= g.HubDegreeThreshold();
+      if (g.IsHub(v) != should) {
+        return Fail("graph: vertex ", v, " with structural degree ",
+                    g.StructuralDegree(v), " is ",
+                    g.IsHub(v) ? "" : "not ", "a hub but the threshold is ",
+                    g.HubDegreeThreshold());
+      }
+      if (!g.IsHub(v)) continue;
+      std::span<const VertexId> nb = g.Neighbors(v);
+      size_t i = 0;
+      std::vector<VertexId> sorted(nb.begin(), nb.end());
+      std::sort(sorted.begin(), sorted.end());
+      for (VertexId w = 0; w < n; ++w) {
+        const bool in_adj = i < sorted.size() && sorted[i] == w;
+        if (in_adj) ++i;
+        if (g.HubRowBit(v, w) != in_adj) {
+          return Fail("graph: hub row of vertex ", v, " disagrees with its ",
+                      "adjacency at vertex ", w);
+        }
+      }
+    }
   }
 
   // Effective degrees and max-neighbor-degree, recomputed per the builder's
@@ -318,7 +372,7 @@ ValidationResult ValidateCpi(const Graph& q, const Graph& data,
 
   // Candidate sets: ascending, in range, label-consistent.
   for (VertexId u = 0; u < n; ++u) {
-    const std::vector<VertexId>& cands = cpi.Candidates(u);
+    std::span<const VertexId> cands = cpi.Candidates(u);
     if (!StrictlyAscending(cands)) {
       return Fail("cpi: candidates of query vertex ", u,
                   " not strictly ascending");
@@ -348,10 +402,10 @@ ValidationResult ValidateCpi(const Graph& q, const Graph& data,
   for (VertexId u : tree.order) {
     if (u == tree.root) continue;
     const VertexId p = tree.parent[u];
-    const std::vector<VertexId>& cands = cpi.Candidates(u);
-    const std::vector<VertexId>& parent_cands = cpi.Candidates(p);
-    const std::vector<uint32_t>& offsets = cpi.AdjacencyOffsets(u);
-    const std::vector<uint32_t>& entries = cpi.AdjacencyEntries(u);
+    std::span<const VertexId> cands = cpi.Candidates(u);
+    std::span<const VertexId> parent_cands = cpi.Candidates(p);
+    std::span<const uint32_t> offsets = cpi.AdjacencyOffsets(u);
+    std::span<const uint32_t> entries = cpi.AdjacencyEntries(u);
 
     if (offsets.size() != parent_cands.size() + 1 || offsets.front() != 0 ||
         offsets.back() != entries.size() ||

@@ -2,24 +2,14 @@
 
 namespace cfl {
 
-uint64_t Cpi::SizeInEntries() const {
-  uint64_t entries = 0;
-  for (const std::vector<VertexId>& c : candidates_) entries += c.size();
-  for (const std::vector<uint32_t>& a : adj_) entries += a.size();
-  return entries;
-}
-
 uint64_t Cpi::MemoryBytes() const {
   uint64_t bytes = 0;
-  for (const std::vector<VertexId>& c : candidates_) {
-    bytes += c.capacity() * sizeof(VertexId);
-  }
-  for (const std::vector<uint32_t>& o : adj_offsets_) {
-    bytes += o.capacity() * sizeof(uint32_t);
-  }
-  for (const std::vector<uint32_t>& a : adj_) {
-    bytes += a.capacity() * sizeof(uint32_t);
-  }
+  bytes += cand_arena_.capacity() * sizeof(VertexId);
+  bytes += cand_offsets_.capacity() * sizeof(uint64_t);
+  bytes += adj_off_arena_.capacity() * sizeof(uint32_t);
+  bytes += adj_off_start_.capacity() * sizeof(uint64_t);
+  bytes += adj_entry_arena_.capacity() * sizeof(uint32_t);
+  bytes += adj_entry_start_.capacity() * sizeof(uint64_t);
   return bytes;
 }
 

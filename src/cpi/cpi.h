@@ -10,6 +10,20 @@
 // enumeration walks the index without any hashing, and a matched vertex's
 // own adjacency lists are locatable by its position.
 //
+// Layout: all three stores are flattened arenas — one contiguous array per
+// kind plus per-query-vertex offset tables (the same CSR idiom `Graph`
+// uses) — so the enumeration hot path (`CandidateAt`, `AdjacentPositions`)
+// is pure pointer arithmetic with no per-vertex heap objects:
+//
+//   cand_arena_      [ u0.C | u1.C | ... ]        cand_offsets_[u] slices it
+//   adj_off_arena_   [ u1 offs | u2 offs | ... ]  adj_off_start_[u] slices it
+//   adj_entry_arena_ [ u1 lists | u2 lists | ... ]adj_entry_start_[u] slices it
+//
+// For non-root u, the slice adj_off_arena_[adj_off_start_[u] ...] holds
+// |u.p.C| + 1 offsets (relative to u's entry slice) partitioning u's entry
+// slice into the per-parent-candidate N_u^{u.p}(v) blocks. Root slices are
+// empty.
+//
 // Size is O(|E(G)| x |V(q)|) by construction (each tree edge's lists are a
 // subset of E(G)); `SizeInEntries` / `MemoryBytes` let the scalability
 // experiment (paper Figure 16(d)) report it.
@@ -41,13 +55,18 @@ class Cpi {
   const BfsTree& tree() const { return tree_; }
 
   // u.C: candidate data vertices of query vertex u, ascending.
-  const std::vector<VertexId>& Candidates(VertexId u) const {
-    return candidates_[u];
+  std::span<const VertexId> Candidates(VertexId u) const {
+    return {cand_arena_.data() + cand_offsets_[u],
+            cand_arena_.data() + cand_offsets_[u + 1]};
+  }
+
+  uint32_t NumCandidates(VertexId u) const {
+    return static_cast<uint32_t>(cand_offsets_[u + 1] - cand_offsets_[u]);
   }
 
   // Data vertex at `pos` within u.C.
   VertexId CandidateAt(VertexId u, uint32_t pos) const {
-    return candidates_[u][pos];
+    return cand_arena_[cand_offsets_[u] + pos];
   }
 
   // N_u^{u.p}(v) where v is the parent candidate at `parent_pos` in u.p's
@@ -55,41 +74,48 @@ class Cpi {
   // Only valid for non-root u.
   std::span<const uint32_t> AdjacentPositions(VertexId u,
                                               uint32_t parent_pos) const {
-    const std::vector<uint32_t>& off = adj_offsets_[u];
-    return {adj_[u].data() + off[parent_pos],
-            adj_[u].data() + off[parent_pos + 1]};
+    const uint32_t* off = adj_off_arena_.data() + adj_off_start_[u];
+    const uint32_t* base = adj_entry_arena_.data() + adj_entry_start_[u];
+    return {base + off[parent_pos], base + off[parent_pos + 1]};
   }
 
   // True iff some query vertex has an empty candidate set, in which case the
   // query has no embeddings at all.
   bool HasEmptyCandidateSet() const {
-    for (const std::vector<VertexId>& c : candidates_) {
-      if (c.empty()) return true;
+    for (uint32_t u = 0; u + 1 < cand_offsets_.size(); ++u) {
+      if (cand_offsets_[u] == cand_offsets_[u + 1]) return true;
     }
     return false;
   }
 
   // Total number of candidate entries plus adjacency entries — the paper's
   // "index size" metric (Figure 16(d)).
-  uint64_t SizeInEntries() const;
+  uint64_t SizeInEntries() const {
+    return cand_arena_.size() + adj_entry_arena_.size();
+  }
 
   uint64_t MemoryBytes() const;
 
   // --- Introspection (validators and tests; not used by enumeration) -----
 
   uint32_t NumQueryVertices() const {
-    return static_cast<uint32_t>(candidates_.size());
+    return cand_offsets_.empty()
+               ? 0
+               : static_cast<uint32_t>(cand_offsets_.size() - 1);
   }
 
   // Raw per-vertex adjacency storage: `AdjacencyOffsets(u)` has one entry
-  // per candidate of u's parent plus a trailing end offset, slicing
-  // `AdjacencyEntries(u)` into the N_u^{u.p}(v) blocks. Both empty for the
-  // root. See check/validate.h for the invariants these must satisfy.
-  const std::vector<uint32_t>& AdjacencyOffsets(VertexId u) const {
-    return adj_offsets_[u];
+  // per candidate of u's parent plus a trailing end offset (relative to the
+  // start of u's entry slice), slicing `AdjacencyEntries(u)` into the
+  // N_u^{u.p}(v) blocks. Both empty for the root. See check/validate.h for
+  // the invariants these must satisfy.
+  std::span<const uint32_t> AdjacencyOffsets(VertexId u) const {
+    return {adj_off_arena_.data() + adj_off_start_[u],
+            adj_off_arena_.data() + adj_off_start_[u + 1]};
   }
-  const std::vector<uint32_t>& AdjacencyEntries(VertexId u) const {
-    return adj_[u];
+  std::span<const uint32_t> AdjacencyEntries(VertexId u) const {
+    return {adj_entry_arena_.data() + adj_entry_start_[u],
+            adj_entry_arena_.data() + adj_entry_start_[u + 1]};
   }
 
  private:
@@ -97,9 +123,18 @@ class Cpi {
   friend struct CpiTestAccess;  // check/test_access.h
 
   BfsTree tree_;
-  std::vector<std::vector<VertexId>> candidates_;   // per query vertex
-  std::vector<std::vector<uint32_t>> adj_offsets_;  // per non-root u
-  std::vector<std::vector<uint32_t>> adj_;          // positions into u.C
+
+  // Candidate arena: cand_offsets_ has NumQueryVertices()+1 entries slicing
+  // cand_arena_ into the per-query-vertex candidate sets.
+  std::vector<VertexId> cand_arena_;
+  std::vector<uint64_t> cand_offsets_;
+
+  // Adjacency arenas, sliced per query vertex by the *_start_ tables
+  // (NumQueryVertices()+1 entries each; root slices are empty).
+  std::vector<uint32_t> adj_off_arena_;    // relative offsets, |u.p.C|+1 per u
+  std::vector<uint64_t> adj_off_start_;
+  std::vector<uint32_t> adj_entry_arena_;  // positions into u.C
+  std::vector<uint64_t> adj_entry_start_;
 };
 
 }  // namespace cfl

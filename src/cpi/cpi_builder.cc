@@ -19,14 +19,22 @@ void CpiBuilder::GenerateCandidates(const Graph& q, VertexId u,
       << " with no visited neighbors; BFS guarantees a visited parent";
   // Counting intersection (Algorithm 3 lines 6-14 / Lemma 5.1): after round
   // k, cnt_[v] == k+1 iff v has a neighbor in cand_[u'] for each of the
-  // first k+1 query vertices u' processed.
+  // first k+1 query vertices u' processed. Only data vertices with u's label
+  // can survive, so each candidate's neighborhood is scanned through its
+  // label run alone; the label filter is implied, and the degree filter only
+  // needs to run on round 0 (later rounds only ever see vertices that
+  // already passed it).
+  const Label label = q.label(u);
+  const uint32_t min_degree = q.StructuralDegree(u);
   uint32_t round = 0;
   for (VertexId uprime : against) {
     for (VertexId vprime : cand_[uprime]) {
-      for (VertexId v : data_.Neighbors(vprime)) {
+      for (VertexId v : data_.NeighborsWithLabel(vprime, label)) {
         if (cnt_[v] != round) continue;
-        if (!LabelDegreeFilter(q, u, data_, v)) continue;
-        if (round == 0) touched_.push_back(v);
+        if (round == 0) {
+          if (data_.degree(v) < min_degree) continue;
+          touched_.push_back(v);
+        }
         cnt_[v] = round + 1;
       }
     }
@@ -45,10 +53,13 @@ void CpiBuilder::GenerateCandidates(const Graph& q, VertexId u,
 void CpiBuilder::RefineCandidates(VertexId u,
                                   const std::vector<VertexId>& against) {
   if (against.empty() || cand_[u].empty()) return;
+  // All candidates of u share u's label, so the scans below only need that
+  // one label run of each vprime.
+  const Label label = data_.label(cand_[u].front());
   uint32_t round = 0;
   for (VertexId uprime : against) {
     for (VertexId vprime : cand_[uprime]) {
-      for (VertexId v : data_.Neighbors(vprime)) {
+      for (VertexId v : data_.NeighborsWithLabel(vprime, label)) {
         if (cnt_[v] != round) continue;
         if (round == 0) touched_.push_back(v);
         cnt_[v] = round + 1;
@@ -85,17 +96,17 @@ void CpiBuilder::TopDownConstruct(const Graph& q, const BfsTree& tree) {
 
     // Forward candidate generation (lines 5-17).
     for (VertexId u : level) {
-      std::vector<VertexId> vis;  // u.N: visited query neighbors
+      vis_.clear();  // u.N: visited query neighbors
       for (VertexId uprime : q.Neighbors(u)) {
         if (visited[uprime]) {
-          vis.push_back(uprime);
+          vis_.push_back(uprime);
         } else if (tree.level[uprime] == tree.level[u]) {
           // S-NTE to a not-yet-visited same-level vertex; recorded for the
           // backward pass (u.UN).
           unvisited_same_level[u].push_back(uprime);
         }
       }
-      GenerateCandidates(q, u, vis);
+      GenerateCandidates(q, u, vis_);
       visited[u] = true;
     }
 
@@ -112,44 +123,62 @@ void CpiBuilder::BottomUpRefine(const Graph& q, const BfsTree& tree) {
   // children and downward C-NTEs alike (Algorithm 4).
   for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
     VertexId u = *it;
-    std::vector<VertexId> lower;
+    lower_.clear();
     for (VertexId uprime : q.Neighbors(u)) {
-      if (tree.level[uprime] == tree.level[u] + 1) lower.push_back(uprime);
+      if (tree.level[uprime] == tree.level[u] + 1) lower_.push_back(uprime);
     }
-    RefineCandidates(u, lower);
+    RefineCandidates(u, lower_);
   }
 }
 
 void CpiBuilder::BuildAdjacency(const BfsTree& tree, Cpi* cpi) {
   const uint32_t n = static_cast<uint32_t>(cand_.size());
-  cpi->adj_offsets_.assign(n, {});
-  cpi->adj_.assign(n, {});
 
-  for (VertexId u : tree.order) {
-    if (u == tree.root) continue;
-    const VertexId p = tree.parent[u];
-    const std::vector<VertexId>& child_cands = cand_[u];
-    const std::vector<VertexId>& parent_cands = cand_[p];
+  // Arena layout: vertices in ascending id order so the start tables are
+  // monotone; each non-root u contributes |u.p.C|+1 relative offsets and
+  // its concatenated N_u^{u.p}(v) blocks. Per-u content is independent of
+  // this iteration order.
+  cpi->adj_off_arena_.clear();
+  cpi->adj_entry_arena_.clear();
+  cpi->adj_off_start_.assign(n + 1, 0);
+  cpi->adj_entry_start_.assign(n + 1, 0);
 
-    // Mark child candidates with their position + 1.
-    for (uint32_t i = 0; i < child_cands.size(); ++i) {
-      pos_[child_cands[i]] = i + 1;
-    }
+  for (VertexId u = 0; u < n; ++u) {
+    if (u != tree.root) {
+      const VertexId p = tree.parent[u];
+      const std::vector<VertexId>& child_cands = cand_[u];
+      const std::vector<VertexId>& parent_cands = cand_[p];
+      const uint64_t entry_base = cpi->adj_entry_arena_.size();
 
-    std::vector<uint32_t>& offsets = cpi->adj_offsets_[u];
-    std::vector<uint32_t>& adj = cpi->adj_[u];
-    offsets.reserve(parent_cands.size() + 1);
-    offsets.push_back(0);
-    for (VertexId vp : parent_cands) {
-      // Data adjacency is sorted and candidate positions are id-monotone,
-      // so each N_u^{p}(vp) block comes out sorted by position.
-      for (VertexId v : data_.Neighbors(vp)) {
-        if (pos_[v] != 0) adj.push_back(pos_[v] - 1);
+      // Mark child candidates with their position + 1.
+      for (uint32_t i = 0; i < child_cands.size(); ++i) {
+        pos_[child_cands[i]] = i + 1;
       }
-      offsets.push_back(static_cast<uint32_t>(adj.size()));
-    }
+      // All child candidates share one label, so only that run of each
+      // parent candidate's adjacency can contribute. An empty child set
+      // degenerates to all-empty blocks.
+      const Label label =
+          child_cands.empty() ? 0 : data_.label(child_cands.front());
 
-    for (VertexId v : child_cands) pos_[v] = 0;
+      cpi->adj_off_arena_.push_back(0);
+      for (VertexId vp : parent_cands) {
+        if (!child_cands.empty()) {
+          // Runs are sorted by id and candidate positions are id-monotone,
+          // so each N_u^{p}(vp) block comes out sorted by position.
+          for (VertexId v : data_.NeighborsWithLabel(vp, label)) {
+            if (pos_[v] != 0) {
+              cpi->adj_entry_arena_.push_back(pos_[v] - 1);
+            }
+          }
+        }
+        cpi->adj_off_arena_.push_back(
+            static_cast<uint32_t>(cpi->adj_entry_arena_.size() - entry_base));
+      }
+
+      for (VertexId v : child_cands) pos_[v] = 0;
+    }
+    cpi->adj_off_start_[u + 1] = cpi->adj_off_arena_.size();
+    cpi->adj_entry_start_[u + 1] = cpi->adj_entry_arena_.size();
   }
 }
 
@@ -172,8 +201,17 @@ Cpi CpiBuilder::Build(const Graph& q, const BfsTree& tree,
   Cpi cpi;
   cpi.tree_ = tree;
   BuildAdjacency(tree, &cpi);
-  cpi.candidates_ = std::move(cand_);
-  cand_.clear();
+
+  // Flatten the per-vertex candidate sets into the arena.
+  cpi.cand_offsets_.assign(n + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    cpi.cand_offsets_[u + 1] = cpi.cand_offsets_[u] + cand_[u].size();
+  }
+  cpi.cand_arena_.reserve(cpi.cand_offsets_[n]);
+  for (VertexId u = 0; u < n; ++u) {
+    cpi.cand_arena_.insert(cpi.cand_arena_.end(), cand_[u].begin(),
+                           cand_[u].end());
+  }
   return cpi;
 }
 

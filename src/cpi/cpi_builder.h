@@ -77,6 +77,10 @@ class CpiBuilder {
   std::vector<uint32_t> cnt_;
   std::vector<VertexId> touched_;
   std::vector<uint32_t> pos_;  // candidate position + 1; 0 = not a candidate
+
+  // Small reused buffers (cleared per query vertex, allocated once).
+  std::vector<VertexId> vis_;    // TopDownConstruct: visited query neighbors
+  std::vector<VertexId> lower_;  // BottomUpRefine: lower-level neighbors
 };
 
 // One-shot convenience wrapper.

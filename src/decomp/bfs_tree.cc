@@ -1,5 +1,6 @@
 #include "decomp/bfs_tree.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "check/check.h"
@@ -9,6 +10,18 @@ namespace cfl {
 BfsTree BuildBfsTree(const Graph& q, VertexId root) {
   const uint32_t n = q.NumVertices();
   if (root >= n) throw std::invalid_argument("BuildBfsTree: bad root");
+
+  // The tree's shape is part of the engine's determinism contract: children
+  // are discovered in ascending vertex-id order, independent of the graph's
+  // (label, id) adjacency layout. Queries are tiny, so re-sorting a copy of
+  // each neighbor list is free.
+  std::vector<VertexId> by_id;
+  auto neighbors_by_id = [&](VertexId u) -> const std::vector<VertexId>& {
+    std::span<const VertexId> adj = q.Neighbors(u);
+    by_id.assign(adj.begin(), adj.end());
+    std::sort(by_id.begin(), by_id.end());
+    return by_id;
+  };
 
   BfsTree t;
   t.root = root;
@@ -26,7 +39,7 @@ BfsTree BuildBfsTree(const Graph& q, VertexId root) {
   // Standard queue-based BFS over t.order itself.
   for (uint32_t head = 0; head < t.order.size(); ++head) {
     VertexId u = t.order[head];
-    for (VertexId w : q.Neighbors(u)) {
+    for (VertexId w : neighbors_by_id(u)) {
       if (seen[w]) continue;
       seen[w] = true;
       t.parent[w] = u;
@@ -47,7 +60,7 @@ BfsTree BuildBfsTree(const Graph& q, VertexId root) {
   // Classify non-tree edges. In a BFS tree, any non-tree edge connects
   // vertices whose levels differ by at most one.
   for (VertexId a = 0; a < n; ++a) {
-    for (VertexId b : q.Neighbors(a)) {
+    for (VertexId b : neighbors_by_id(a)) {
       if (b < a) continue;
       if (t.parent[a] == b || t.parent[b] == a) continue;
       NonTreeEdge e;

@@ -7,8 +7,9 @@
 namespace cfl {
 
 std::vector<std::vector<VertexId>> ComputeNecClasses(const Graph& g) {
-  // Key each vertex by (label, neighbor list); CSR adjacency is sorted, so
-  // the span contents are directly comparable.
+  // Key each vertex by (label, neighbor list); CSR adjacency is
+  // (label, id)-sorted — a total order intrinsic to the vertex set — so
+  // equal neighbor sets yield identical spans and vice versa.
   std::map<std::pair<Label, std::vector<VertexId>>, std::vector<VertexId>>
       groups;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {

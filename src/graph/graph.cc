@@ -4,13 +4,6 @@
 
 namespace cfl {
 
-bool Graph::HasEdge(VertexId u, VertexId v) const {
-  // Probe the endpoint with the shorter adjacency list.
-  if (StructuralDegree(u) > StructuralDegree(v)) std::swap(u, v);
-  std::span<const VertexId> adj = Neighbors(u);
-  return std::binary_search(adj.begin(), adj.end(), v);
-}
-
 uint32_t Graph::NeighborLabelCount(VertexId v, Label l) const {
   std::span<const LabelCount> runs = NeighborLabelCounts(v);
   auto it = std::lower_bound(
@@ -30,6 +23,10 @@ uint64_t Graph::MemoryBytes() const {
   bytes += label_offsets_.capacity() * sizeof(uint64_t);
   bytes += label_vertices_.capacity() * sizeof(VertexId);
   bytes += label_frequency_.capacity() * sizeof(uint64_t);
+  bytes += run_offsets_.capacity() * sizeof(uint64_t);
+  bytes += runs_.capacity() * sizeof(LabelRun);
+  bytes += hub_index_.capacity() * sizeof(uint32_t);
+  bytes += hub_bits_.capacity() * sizeof(uint64_t);
   bytes += nlf_offsets_.capacity() * sizeof(uint64_t);
   bytes += nlf_.capacity() * sizeof(LabelCount);
   bytes += mnd_.capacity() * sizeof(uint32_t);

@@ -2,13 +2,27 @@
 //
 // The paper (Bi et al., SIGMOD 2016) operates on vertex-labeled undirected
 // graphs. `Graph` is an immutable CSR (compressed sparse row) structure
-// optimized for the access patterns of subgraph matching:
+// whose layout is tuned for the access patterns of subgraph matching:
+//   * label-partitioned adjacency: each vertex's neighbor list is sorted by
+//     (label, id), and a per-vertex label-run index makes
+//     `NeighborsWithLabel(v, l)` a contiguous span — the CPI builder's
+//     counting-intersection loops scan only the one label that can survive
+//     instead of the whole neighborhood,
+//   * O(1) edge-existence probes against hub vertices (per-hub bitsets,
+//     see below), falling back to an O(log d) binary search inside the
+//     matching label run otherwise,
 //   * O(1) label lookup and candidate seeding via a label index,
-//   * O(log d) edge-existence probes (sorted adjacency, probe the smaller
-//     endpoint),
 //   * O(log L) neighbor-label-frequency (NLF) lookups for CandVerify
 //     (paper Algorithm 6),
 //   * O(1) max-neighbor-degree lookups (paper Lemma A.1).
+//
+// Hub probes: vertices whose structural degree reaches the builder's hub
+// threshold carry a direct-indexed bitset row over all vertex ids, so the
+// enumerator's backward-edge checks against high-degree vertices — the worst
+// case for binary search — are a single word load. Rows live in one shared
+// arena; the builder only materializes them when the total fits a fixed
+// space budget (raising the threshold until it does), so the index is
+// bounded regardless of the degree distribution.
 //
 // `Graph` doubles as the representation of *compressed* data graphs produced
 // by the structural-equivalence merging of Ren & Wang [14] (the "-Boost"
@@ -27,6 +41,7 @@
 #ifndef CFL_GRAPH_GRAPH_H_
 #define CFL_GRAPH_GRAPH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -63,11 +78,28 @@ class Graph {
 
   // --- Adjacency --------------------------------------------------------
 
-  // Neighbors of v, sorted ascending. If the graph has a self-loop at v
-  // (compressed clique class), v itself appears in the list.
+  // Neighbors of v, sorted by (label, id): one contiguous ascending-id run
+  // per neighbor label, runs ordered by label. If the graph has a self-loop
+  // at v (compressed clique class), v itself appears in its label's run.
   std::span<const VertexId> Neighbors(VertexId v) const {
     return {neighbors_.data() + offsets_[v],
             neighbors_.data() + offsets_[v + 1]};
+  }
+
+  // Neighbors of v with label l: a contiguous span of the (label, id)-sorted
+  // adjacency, ascending by id. Empty if v has no l-labeled neighbor.
+  // O(log |L_N(v)|) via the per-vertex label-run index.
+  std::span<const VertexId> NeighborsWithLabel(VertexId v, Label l) const {
+    const LabelRun* first = runs_.data() + run_offsets_[v];
+    const LabelRun* last = runs_.data() + run_offsets_[v + 1];
+    const LabelRun* it = std::lower_bound(
+        first, last, l,
+        [](const LabelRun& run, Label want) { return run.label < want; });
+    if (it == last || it->label != l) return {};
+    const uint64_t begin = offsets_[v] + it->begin;
+    const uint64_t end =
+        (it + 1 != last) ? offsets_[v] + (it + 1)->begin : offsets_[v + 1];
+    return {neighbors_.data() + begin, neighbors_.data() + end};
   }
 
   // Number of entries in v's adjacency list.
@@ -80,8 +112,20 @@ class Graph {
   // plain graphs.
   uint32_t degree(VertexId v) const { return effective_degree_[v]; }
 
-  // True iff (u, v) is an edge. u == v tests for a self-loop.
-  bool HasEdge(VertexId u, VertexId v) const;
+  // True iff (u, v) is an edge. u == v tests for a self-loop. O(1) when
+  // either endpoint is a hub; otherwise a binary search inside the matching
+  // label run of the lower-degree endpoint.
+  bool HasEdge(VertexId u, VertexId v) const {
+    if (!hub_bits_.empty()) {
+      const uint32_t hu = hub_index_[u];
+      if (hu != kNoHub) return HubBit(hu, v);
+      const uint32_t hv = hub_index_[v];
+      if (hv != kNoHub) return HubBit(hv, u);
+    }
+    if (StructuralDegree(u) > StructuralDegree(v)) std::swap(u, v);
+    std::span<const VertexId> run = NeighborsWithLabel(u, labels_[v]);
+    return std::binary_search(run.begin(), run.end(), v);
+  }
 
   // --- Multiplicities (compressed graphs) --------------------------------
 
@@ -133,6 +177,36 @@ class Graph {
   // Zero for isolated vertices.
   uint32_t MaxNeighborDegree(VertexId v) const { return mnd_[v]; }
 
+  // --- Label-run / hub introspection (validators and tests) ---------------
+
+  // One run of same-labeled neighbors; `begin` is the offset of the run's
+  // first entry relative to the start of v's adjacency list.
+  struct LabelRun {
+    Label label;
+    uint32_t begin;
+  };
+  std::span<const LabelRun> AdjacencyLabelRuns(VertexId v) const {
+    return {runs_.data() + run_offsets_[v],
+            runs_.data() + run_offsets_[v + 1]};
+  }
+
+  // True iff the hub-probe index was materialized at build time.
+  bool HasHubIndex() const { return !hub_bits_.empty(); }
+
+  // The effective degree threshold the builder settled on (after any budget
+  // doubling); 0 if hub probes were disabled.
+  uint32_t HubDegreeThreshold() const { return hub_degree_threshold_; }
+
+  bool IsHub(VertexId v) const {
+    return !hub_bits_.empty() && hub_index_[v] != kNoHub;
+  }
+
+  // Raw bitset row lookup for hub v (IsHub(v) must hold): true iff the row
+  // marks w as a neighbor. Validators compare this against the adjacency.
+  bool HubRowBit(VertexId v, VertexId w) const {
+    return HubBit(hub_index_[v], w);
+  }
+
   // Approximate heap footprint in bytes; used by the index-size experiment.
   uint64_t MemoryBytes() const;
 
@@ -140,8 +214,15 @@ class Graph {
   friend class GraphBuilder;
   friend struct GraphTestAccess;  // check/test_access.h
 
+  static constexpr uint32_t kNoHub = static_cast<uint32_t>(-1);
+
+  bool HubBit(uint32_t row, VertexId w) const {
+    return (hub_bits_[row * hub_words_per_row_ + (w >> 6)] >>
+            (w & 63)) & 1u;
+  }
+
   std::vector<uint64_t> offsets_;   // size n+1
-  std::vector<VertexId> neighbors_; // size 2m, sorted per vertex
+  std::vector<VertexId> neighbors_; // size 2m, sorted by (label, id) per vertex
   std::vector<Label> labels_;       // size n
   uint64_t num_edges_ = 0;
   uint32_t num_labels_ = 0;
@@ -155,6 +236,18 @@ class Graph {
   std::vector<uint64_t> label_offsets_;   // size num_labels+1
   std::vector<VertexId> label_vertices_;  // size n
   std::vector<uint64_t> label_frequency_; // size num_labels (multiplicities)
+
+  // Per-vertex label-run index over `neighbors_`.
+  std::vector<uint64_t> run_offsets_;  // size n+1
+  std::vector<LabelRun> runs_;
+
+  // Hub-probe index: hub_index_[v] is the bitset row of hub v (kNoHub for
+  // non-hubs); rows are hub_words_per_row_ words each, packed in hub_bits_.
+  // All empty when no vertex met the threshold within the space budget.
+  std::vector<uint32_t> hub_index_;
+  std::vector<uint64_t> hub_bits_;
+  uint64_t hub_words_per_row_ = 0;
+  uint32_t hub_degree_threshold_ = 0;
 
   // NLF index: per-vertex (label, count) runs.
   std::vector<uint64_t> nlf_offsets_;  // size n+1

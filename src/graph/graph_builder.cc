@@ -52,8 +52,18 @@ Graph GraphBuilder::Build() && {
   g.labels_ = std::move(labels_);
   g.multiplicity_ = std::move(multiplicity_);
 
-  // Deduplicate and sort directed arcs.
-  std::sort(edges_.begin(), edges_.end());
+  // Deduplicate and sort directed arcs by (source, target label, target id):
+  // the counting sort below then lands each vertex's neighbors already in
+  // the label-partitioned order `Graph` promises.
+  std::sort(edges_.begin(), edges_.end(),
+            [&](const std::pair<VertexId, VertexId>& a,
+                const std::pair<VertexId, VertexId>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              if (g.labels_[a.second] != g.labels_[b.second]) {
+                return g.labels_[a.second] < g.labels_[b.second];
+              }
+              return a.second < b.second;
+            });
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
 
   g.offsets_.assign(n + 1, 0);
@@ -63,6 +73,27 @@ Graph GraphBuilder::Build() && {
   {
     std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
     for (const auto& [u, v] : edges_) g.neighbors_[cursor[u]++] = v;
+  }
+
+  // Label-run index: one LabelRun per maximal same-label stretch of each
+  // adjacency list, offsets relative to the list start.
+  g.run_offsets_.assign(n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    std::span<const VertexId> adj = g.Neighbors(v);
+    uint64_t count = 0;
+    for (uint32_t i = 0; i < adj.size(); ++i) {
+      if (i == 0 || g.labels_[adj[i]] != g.labels_[adj[i - 1]]) ++count;
+    }
+    g.run_offsets_[v + 1] = g.run_offsets_[v] + count;
+  }
+  g.runs_.reserve(g.run_offsets_[n]);
+  for (uint32_t v = 0; v < n; ++v) {
+    std::span<const VertexId> adj = g.Neighbors(v);
+    for (uint32_t i = 0; i < adj.size(); ++i) {
+      if (i == 0 || g.labels_[adj[i]] != g.labels_[adj[i - 1]]) {
+        g.runs_.push_back({g.labels_[adj[i]], i});
+      }
+    }
   }
 
   // Undirected edge count: non-loop arcs appear twice, loops once.
@@ -148,6 +179,40 @@ Graph GraphBuilder::Build() && {
       best = std::max(best, g.effective_degree_[w]);
     }
     g.mnd_[v] = best;
+  }
+
+  // Hub-probe rows: direct-indexed bitsets for high-degree vertices. Double
+  // the threshold until the rows fit the space budget; a threshold that
+  // exceeds every degree simply yields no rows.
+  if (hub_degree_threshold_ > 0 && n > 0) {
+    const uint64_t words_per_row = (static_cast<uint64_t>(n) + 63) / 64;
+    uint64_t threshold = hub_degree_threshold_;
+    uint64_t num_hubs = 0;
+    for (;;) {
+      num_hubs = 0;
+      for (uint32_t v = 0; v < n; ++v) {
+        if (g.StructuralDegree(v) >= threshold) ++num_hubs;
+      }
+      if (num_hubs * words_per_row * sizeof(uint64_t) <= kHubSpaceBudgetBytes) {
+        break;
+      }
+      threshold *= 2;
+    }
+    g.hub_degree_threshold_ = static_cast<uint32_t>(
+        std::min<uint64_t>(threshold, static_cast<uint32_t>(-1)));
+    if (num_hubs > 0) {
+      g.hub_words_per_row_ = words_per_row;
+      g.hub_index_.assign(n, Graph::kNoHub);
+      g.hub_bits_.assign(num_hubs * words_per_row, 0);
+      uint32_t row = 0;
+      for (uint32_t v = 0; v < n; ++v) {
+        if (g.StructuralDegree(v) < threshold) continue;
+        g.hub_index_[v] = row;
+        uint64_t* bits = g.hub_bits_.data() + row * words_per_row;
+        for (VertexId w : g.Neighbors(v)) bits[w >> 6] |= 1ull << (w & 63);
+        ++row;
+      }
+    }
   }
 
   return g;

@@ -44,4 +44,9 @@ uint32_t BenchThreads(uint32_t fallback) {
   return parsed > 0 ? static_cast<uint32_t>(parsed) : fallback;
 }
 
+std::string BenchJsonPath() {
+  const char* value = Getenv("CFL_BENCH_JSON");
+  return value != nullptr ? std::string(value) : std::string();
+}
+
 }  // namespace cfl

@@ -8,11 +8,14 @@
 //   CFL_BENCH_TIME_LIMIT_S — per-query-set wall budget in seconds standing
 //                       in for the paper's 5-hour limit; sets that exceed
 //                       it report "INF" like the paper's plots.
+//   CFL_BENCH_JSON    — path of a JSON-lines file to which benches append
+//                       machine-readable results alongside the human tables.
 
 #ifndef CFL_HARNESS_ENV_H_
 #define CFL_HARNESS_ENV_H_
 
 #include <cstdint>
+#include <string>
 
 namespace cfl {
 
@@ -29,6 +32,11 @@ double BenchTimeLimitSeconds(double fallback = 20.0);
 // for the CFL-Match engine under measurement; > 1 selects the parallel
 // root-partitioned matcher (parallel/parallel_match.h).
 uint32_t BenchThreads(uint32_t fallback = 1);
+
+// CFL_BENCH_JSON (default empty: disabled). When set, benches append one
+// JSON object per measured result to this file (JSON-lines, created on
+// first append).
+std::string BenchJsonPath();
 
 }  // namespace cfl
 

@@ -25,6 +25,7 @@ void AppendSteps(const Graph& q, const BfsTree& tree,
     for (VertexId w : q.Neighbors(u)) {
       if ((*placed)[w] && w != step.parent) step.backward.push_back(w);
     }
+    std::sort(step.backward.begin(), step.backward.end());
     (*placed)[u] = true;
     order->steps.push_back(std::move(step));
   }

@@ -27,7 +27,9 @@ std::vector<QuickSiStep> ComputeQiSequence(const Graph& q, const Graph& data,
       for (VertexId b : q.Neighbors(a)) {
         if (b < a) continue;
         uint64_t w = edge_weight(a, b);
-        if (w < best_w) {
+        // Ties break toward the lexicographically smallest (a, b) so the
+        // choice is independent of the adjacency layout's neighbor order.
+        if (w < best_w || (w == best_w && a == best_a && b < best_b)) {
           best_w = w;
           best_a = a;
           best_b = b;
@@ -68,6 +70,7 @@ std::vector<QuickSiStep> ComputeQiSequence(const Graph& q, const Graph& data,
     for (VertexId w : q.Neighbors(best_u)) {
       if (placed[w] && w != best_p) step.backward.push_back(w);
     }
+    std::sort(step.backward.begin(), step.backward.end());
     placed[best_u] = true;
     seq.push_back(std::move(step));
   }

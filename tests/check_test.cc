@@ -6,6 +6,7 @@
 // corruption).
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -101,15 +102,16 @@ TEST(ValidateGraphTest, AcceptsCompressedGraphWithSelfLoop) {
 TEST(ValidateGraphTest, CatchesUnsortedAdjacency) {
   Graph g = Figure3Data();
   std::vector<VertexId>& nb = GraphTestAccess::Neighbors(g);
-  // v0's adjacency is {1, 2, 3}; swapping two entries unsorts it.
+  // v0's adjacency is {2, 1, 3} in (label, id) order (v2 has label B; v1 and
+  // v3 label C); swapping the first two entries puts a C before the B.
   std::swap(nb[0], nb[1]);
   ExpectFailureContaining(ValidateGraph(g), "not strictly ascending");
 }
 
 TEST(ValidateGraphTest, CatchesAsymmetricAdjacency) {
   Graph g = Figure3Data();
-  // v0's adjacency {1,2,3} -> {1,2,4}: stays sorted, but v4 does not list
-  // v0 back.
+  // v0's adjacency {2,1,3} -> {2,1,4}: stays (label, id)-sorted (v4 carries
+  // label E), but v4 does not list v0 back.
   GraphTestAccess::Neighbors(g)[2] = 4;
   ExpectFailureContaining(ValidateGraph(g), "asymmetric");
 }
@@ -221,7 +223,7 @@ TEST(ValidateCpiTest, AcceptsAllStrategies) {
 TEST(ValidateCpiTest, CatchesUnsortedCandidates) {
   CpiFixture f;
   // u1's refined candidates are {v3, v5}.
-  std::vector<VertexId>& cands = CpiTestAccess::Candidates(f.cpi)[1];
+  std::span<VertexId> cands = CpiTestAccess::Candidates(f.cpi, 1);
   ASSERT_GE(cands.size(), 2u);
   std::swap(cands.front(), cands.back());
   ExpectFailureContaining(ValidateCpi(f.query, f.data, f.cpi),
@@ -231,57 +233,61 @@ TEST(ValidateCpiTest, CatchesUnsortedCandidates) {
 TEST(ValidateCpiTest, CatchesWrongLabelCandidate) {
   CpiFixture f;
   // Root candidate set becomes {v4}, which carries label C, not A.
-  CpiTestAccess::Candidates(f.cpi)[0] = {4};
+  std::span<VertexId> root_cands = CpiTestAccess::Candidates(f.cpi, 0);
+  ASSERT_EQ(root_cands.size(), 1u);
+  root_cands[0] = 4;
   ExpectFailureContaining(ValidateCpi(f.query, f.data, f.cpi), "label");
 }
 
 TEST(ValidateCpiTest, CatchesOutOfRangePosition) {
   CpiFixture f;
   // Non-root vertices store positions into their candidate array; position
-  // 200 is far outside any of them. The extra entry also breaks the exact
-  // block correspondence, which is the rule that must fire.
+  // 200 is far outside any of them. The clobbered entry also breaks the
+  // exact block correspondence, which is the rule that must fire.
   for (VertexId u = 1; u < f.query.NumVertices(); ++u) {
-    std::vector<uint32_t>& adj = CpiTestAccess::Adj(f.cpi)[u];
+    std::span<uint32_t> adj = CpiTestAccess::AdjEntries(f.cpi, u);
     if (adj.empty()) continue;
-    std::vector<uint32_t> saved = adj;
+    const uint32_t saved = adj.back();
     adj.back() = 200;
     ValidationResult r = ValidateCpi(f.query, f.data, f.cpi);
     ASSERT_FALSE(r.ok) << "out-of-range position in u=" << u << " accepted";
-    adj = saved;
+    adj.back() = saved;
   }
 }
 
 TEST(ValidateCpiTest, CatchesDroppedAdjacencyEntry) {
   CpiFixture f;
-  // Dropping the last entry of u1's storage (and shrinking the final
-  // offset) makes the last block miss a real data-graph edge — the silent
-  // embedding-dropping bug class.
-  std::vector<uint32_t>& adj = CpiTestAccess::Adj(f.cpi)[1];
-  std::vector<uint32_t>& offsets = CpiTestAccess::AdjOffsets(f.cpi)[1];
-  ASSERT_FALSE(adj.empty());
-  adj.pop_back();
+  // Shrinking u1's entry slice by one (final relative offset plus the
+  // arena-start table for every later vertex) makes u1's last block miss a
+  // real data-graph edge — the silent embedding-dropping bug class.
+  std::span<uint32_t> offsets = CpiTestAccess::AdjOffsets(f.cpi, 1);
+  ASSERT_FALSE(CpiTestAccess::AdjEntries(f.cpi, 1).empty());
+  ASSERT_FALSE(offsets.empty());
   --offsets.back();
+  std::vector<uint64_t>& start = CpiTestAccess::AdjEntryStart(f.cpi);
+  for (size_t u = 2; u < start.size(); ++u) --start[u];
   ExpectFailureContaining(ValidateCpi(f.query, f.data, f.cpi), "misses");
 }
 
 TEST(ValidateCpiTest, CatchesPhantomAdjacencyEntry) {
   CpiFixture f;
   // u3's candidates are {v11, v12}; its parent u1 has candidates {v3, v5}.
-  // v3 is adjacent to v11 only, so claiming position 1 (v12) in v3's block
-  // asserts a data edge (v3, v12) that does not exist.
-  std::vector<uint32_t>& adj = CpiTestAccess::Adj(f.cpi)[3];
-  std::vector<uint32_t>& offsets = CpiTestAccess::AdjOffsets(f.cpi)[3];
-  ASSERT_EQ(offsets.front(), 0u);
-  ASSERT_GT(offsets.size(), 1u);
-  adj.insert(adj.begin() + offsets[1], 1);
-  for (size_t i = 1; i < offsets.size(); ++i) ++offsets[i];
+  // v3 is adjacent to v11 only and v5 to v12 only, so the blocks are {0}
+  // and {1}. Moving the block boundary hands v5's entry to v3's block,
+  // which then claims a data edge (v3, v12) that does not exist.
+  std::span<uint32_t> offsets = CpiTestAccess::AdjOffsets(f.cpi, 3);
+  ASSERT_EQ(offsets.size(), 3u);
+  ASSERT_EQ(offsets[0], 0u);
+  ASSERT_EQ(offsets[1], 1u);
+  ASSERT_EQ(offsets[2], 2u);
+  offsets[1] = 2;
   ExpectFailureContaining(ValidateCpi(f.query, f.data, f.cpi),
                           "without a matching data-graph edge");
 }
 
 TEST(ValidateCpiTest, CatchesBrokenOffsets) {
   CpiFixture f;
-  std::vector<uint32_t>& offsets = CpiTestAccess::AdjOffsets(f.cpi)[1];
+  std::span<uint32_t> offsets = CpiTestAccess::AdjOffsets(f.cpi, 1);
   ASSERT_FALSE(offsets.empty());
   ++offsets.back();
   ExpectFailureContaining(ValidateCpi(f.query, f.data, f.cpi), "partition");

@@ -5,6 +5,7 @@
 #include "cpi/cpi_builder.h"
 
 #include <algorithm>
+#include <span>
 
 #include <gtest/gtest.h>
 
@@ -22,7 +23,12 @@ using testing::BruteForceEmbeddings;
 using testing::Figure7Data;
 using testing::Figure7Query;
 
-std::vector<VertexId> Sorted(std::vector<VertexId> v) {
+std::vector<VertexId> ToVec(std::span<const VertexId> s) {
+  return {s.begin(), s.end()};
+}
+
+std::vector<VertexId> Sorted(std::span<const VertexId> s) {
+  std::vector<VertexId> v(s.begin(), s.end());
   std::sort(v.begin(), v.end());
   return v;
 }
@@ -93,10 +99,10 @@ class CpiFigure7Test : public ::testing::Test {
 
 TEST_F(CpiFigure7Test, NaiveCandidatesAreLabelSets) {
   Cpi cpi = BuildCpi(q_, g_, tree_, CpiStrategy::kNaive);
-  EXPECT_EQ(cpi.Candidates(0), (std::vector<VertexId>{1, 2}));
-  EXPECT_EQ(cpi.Candidates(1), (std::vector<VertexId>{3, 5, 7, 9}));
-  EXPECT_EQ(cpi.Candidates(2), (std::vector<VertexId>{4, 6, 8, 10}));
-  EXPECT_EQ(cpi.Candidates(3), (std::vector<VertexId>{11, 12, 13, 15}));
+  EXPECT_EQ(ToVec(cpi.Candidates(0)), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(ToVec(cpi.Candidates(1)), (std::vector<VertexId>{3, 5, 7, 9}));
+  EXPECT_EQ(ToVec(cpi.Candidates(2)), (std::vector<VertexId>{4, 6, 8, 10}));
+  EXPECT_EQ(ToVec(cpi.Candidates(3)), (std::vector<VertexId>{11, 12, 13, 15}));
 }
 
 TEST_F(CpiFigure7Test, TopDownMatchesFigure7d) {
@@ -104,19 +110,19 @@ TEST_F(CpiFigure7Test, TopDownMatchesFigure7d) {
   // backward pass prunes v9; u2 = {v4,v6,v8} (v10 killed by CandVerify);
   // u3 = {v11,v12} (v13, v15 lack a neighbor in u2.C / u1.C).
   Cpi cpi = BuildCpi(q_, g_, tree_, CpiStrategy::kTopDown);
-  EXPECT_EQ(cpi.Candidates(0), (std::vector<VertexId>{1, 2}));
-  EXPECT_EQ(cpi.Candidates(1), (std::vector<VertexId>{3, 5, 7}));
-  EXPECT_EQ(cpi.Candidates(2), (std::vector<VertexId>{4, 6, 8}));
-  EXPECT_EQ(cpi.Candidates(3), (std::vector<VertexId>{11, 12}));
+  EXPECT_EQ(ToVec(cpi.Candidates(0)), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(ToVec(cpi.Candidates(1)), (std::vector<VertexId>{3, 5, 7}));
+  EXPECT_EQ(ToVec(cpi.Candidates(2)), (std::vector<VertexId>{4, 6, 8}));
+  EXPECT_EQ(ToVec(cpi.Candidates(3)), (std::vector<VertexId>{11, 12}));
 }
 
 TEST_F(CpiFigure7Test, RefinedMatchesFigure7e) {
   // Paper Example 5.2: bottom-up refinement prunes v8 (u2), v7 (u1), v2 (u0).
   Cpi cpi = BuildCpi(q_, g_, tree_, CpiStrategy::kRefined);
-  EXPECT_EQ(cpi.Candidates(0), (std::vector<VertexId>{1}));
-  EXPECT_EQ(cpi.Candidates(1), (std::vector<VertexId>{3, 5}));
-  EXPECT_EQ(cpi.Candidates(2), (std::vector<VertexId>{4, 6}));
-  EXPECT_EQ(cpi.Candidates(3), (std::vector<VertexId>{11, 12}));
+  EXPECT_EQ(ToVec(cpi.Candidates(0)), (std::vector<VertexId>{1}));
+  EXPECT_EQ(ToVec(cpi.Candidates(1)), (std::vector<VertexId>{3, 5}));
+  EXPECT_EQ(ToVec(cpi.Candidates(2)), (std::vector<VertexId>{4, 6}));
+  EXPECT_EQ(ToVec(cpi.Candidates(3)), (std::vector<VertexId>{11, 12}));
 }
 
 TEST_F(CpiFigure7Test, RefinedAdjacencyLists) {
@@ -184,7 +190,7 @@ TEST_P(CpiSoundnessTest, AllEmbeddingsSurvive) {
       Cpi cpi = BuildCpi(q, g, tree, strategy);
       for (const Embedding& m : truth) {
         for (VertexId u = 0; u < q.NumVertices(); ++u) {
-          const std::vector<VertexId>& c = cpi.Candidates(u);
+          std::span<const VertexId> c = cpi.Candidates(u);
           EXPECT_TRUE(std::binary_search(c.begin(), c.end(), m[u]))
               << "seed " << seed << " root " << root << " u " << u;
         }
@@ -195,6 +201,55 @@ TEST_P(CpiSoundnessTest, AllEmbeddingsSurvive) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, CpiSoundnessTest,
                          ::testing::Range<uint64_t>(0, 12));
+
+// Layout equivalence: the flattened arena CPI must expose, through
+// Candidates / AdjacentPositions / CandidateAt, exactly the nested
+// representation the pre-arena implementation stored — per query vertex, a
+// candidate list, and per parent candidate the ascending positions of the
+// child candidates adjacent to it in the data graph. The reference is
+// rebuilt here from first principles (Graph::HasEdge), independent of the
+// builder's scan order.
+TEST(CpiLayoutTest, FlattenedLayoutMatchesNestedReference) {
+  SyntheticOptions options;
+  options.num_vertices = 120;
+  options.average_degree = 6.0;
+  options.num_labels = 6;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    options.seed = seed + 1;
+    Graph g = MakeSynthetic(options);
+    QueryGenOptions query_options;
+    query_options.num_vertices = 7;
+    query_options.seed = seed * 13 + 5;
+    Graph q = GenerateQuery(g, query_options);
+    BfsTree tree = BuildBfsTree(q, 0);
+    Cpi cpi = BuildCpi(q, g, tree, CpiStrategy::kRefined);
+
+    // Reference nested representation.
+    std::vector<std::vector<VertexId>> ref_cands(q.NumVertices());
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      ref_cands[u] = ToVec(cpi.Candidates(u));
+      EXPECT_TRUE(std::is_sorted(ref_cands[u].begin(), ref_cands[u].end()));
+      for (uint32_t i = 0; i < ref_cands[u].size(); ++i) {
+        EXPECT_EQ(cpi.CandidateAt(u, i), ref_cands[u][i]);
+      }
+    }
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      if (u == tree.root) continue;
+      const VertexId p = tree.parent[u];
+      for (uint32_t pp = 0; pp < ref_cands[p].size(); ++pp) {
+        std::vector<uint32_t> expected;
+        for (uint32_t i = 0; i < ref_cands[u].size(); ++i) {
+          if (g.HasEdge(ref_cands[p][pp], ref_cands[u][i])) {
+            expected.push_back(i);
+          }
+        }
+        std::span<const uint32_t> got = cpi.AdjacentPositions(u, pp);
+        EXPECT_EQ(std::vector<uint32_t>(got.begin(), got.end()), expected)
+            << "seed " << seed << " u " << u << " parent_pos " << pp;
+      }
+    }
+  }
+}
 
 // Refinement can only shrink candidate sets (monotonicity).
 TEST(CpiMonotonicityTest, RefinedIsSubsetOfTopDownIsSubsetOfNaive) {

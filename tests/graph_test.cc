@@ -2,7 +2,10 @@
 
 #include "graph/graph.h"
 
+#include <random>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -25,16 +28,123 @@ TEST(GraphTest, BasicShape) {
   EXPECT_EQ(g.label(5), 3u);
 }
 
-TEST(GraphTest, NeighborsSortedAndDegrees) {
+TEST(GraphTest, NeighborsSortedByLabelThenIdAndDegrees) {
   Graph g = Figure3Data();
+  // v0's neighbors are v1(C), v2(B), v3(C); (label, id) order puts the B
+  // vertex first and the two C vertices after it ascending by id.
   std::span<const VertexId> n0 = g.Neighbors(0);
   ASSERT_EQ(n0.size(), 3u);
-  EXPECT_EQ(n0[0], 1u);
-  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(n0[0], 2u);
+  EXPECT_EQ(n0[1], 1u);
   EXPECT_EQ(n0[2], 3u);
   EXPECT_EQ(g.degree(0), 3u);
   EXPECT_EQ(g.StructuralDegree(0), 3u);
   EXPECT_EQ(g.degree(4), 2u);
+}
+
+TEST(GraphTest, NeighborsWithLabel) {
+  Graph g = Figure3Data();
+  // Multi-run list: v0's neighbors split into a B run {2} and a C run {1,3}.
+  std::span<const VertexId> b_run = g.NeighborsWithLabel(0, 1);  // label B
+  ASSERT_EQ(b_run.size(), 1u);
+  EXPECT_EQ(b_run[0], 2u);
+  std::span<const VertexId> c_run = g.NeighborsWithLabel(0, 2);  // label C
+  ASSERT_EQ(c_run.size(), 2u);
+  EXPECT_EQ(c_run[0], 1u);
+  EXPECT_EQ(c_run[1], 3u);
+  // Absent label: empty span.
+  EXPECT_TRUE(g.NeighborsWithLabel(0, 4).empty());   // no E neighbor
+  EXPECT_TRUE(g.NeighborsWithLabel(0, 99).empty());  // label not in graph
+  // Single-run list: v4's neighbors v1(C) and v5(D) are two runs of one.
+  std::span<const VertexId> v4_c = g.NeighborsWithLabel(4, 2);
+  ASSERT_EQ(v4_c.size(), 1u);
+  EXPECT_EQ(v4_c[0], 1u);
+  // Every (v, l) pair agrees with a filter over the full neighbor list.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (Label l = 0; l < g.NumLabels(); ++l) {
+      std::vector<VertexId> expected;
+      for (VertexId w : g.Neighbors(v)) {
+        if (g.label(w) == l) expected.push_back(w);
+      }
+      std::span<const VertexId> run = g.NeighborsWithLabel(v, l);
+      EXPECT_EQ(std::vector<VertexId>(run.begin(), run.end()), expected)
+          << "v=" << v << " l=" << l;
+    }
+  }
+}
+
+TEST(GraphTest, NeighborsWithLabelOnSelfLoopCompressedVertex) {
+  // Clique class at v1 (self-loop): v1 must appear in its own label run.
+  GraphBuilder b(3);
+  b.AllowSelfLoops();
+  b.SetLabel(0, 0);
+  b.SetLabel(1, 1);
+  b.SetLabel(2, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 1);
+  b.AddEdge(1, 2);
+  b.SetMultiplicities({1, 2, 1});
+  Graph g = std::move(b).Build();
+  std::span<const VertexId> run = g.NeighborsWithLabel(1, 1);
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run[0], 1u);  // the self-loop
+  EXPECT_EQ(run[1], 2u);
+  std::span<const VertexId> run0 = g.NeighborsWithLabel(1, 0);
+  ASSERT_EQ(run0.size(), 1u);
+  EXPECT_EQ(run0[0], 0u);
+}
+
+TEST(GraphTest, HubProbesAgreeWithBinarySearch) {
+  // Randomized graphs with a skewed degree distribution; a low threshold
+  // forces several hub rows. HasEdge must agree with ground truth whether
+  // the probe goes through a hub bitmap or the binary-search fallback.
+  std::mt19937 rng(20260805);
+  for (int trial = 0; trial < 4; ++trial) {
+    const uint32_t n = 80;
+    GraphBuilder b(n);
+    for (VertexId v = 0; v < n; ++v) b.SetLabel(v, v % 5);
+    std::set<std::pair<VertexId, VertexId>> truth;
+    std::uniform_int_distribution<uint32_t> pick(0, n - 1);
+    // A few heavy vertices connected to most of the graph, plus random edges.
+    for (VertexId hub = 0; hub < 3; ++hub) {
+      for (VertexId w = 3; w < n; w += 1 + trial) {
+        b.AddEdge(hub, w);
+        truth.emplace(std::min<VertexId>(hub, w), std::max<VertexId>(hub, w));
+      }
+    }
+    for (int e = 0; e < 200; ++e) {
+      VertexId u = pick(rng), v = pick(rng);
+      if (u == v) continue;
+      b.AddEdge(u, v);
+      truth.emplace(std::min(u, v), std::max(u, v));
+    }
+    b.SetHubDegreeThreshold(8);
+    Graph g = std::move(b).Build();
+    ASSERT_TRUE(g.HasHubIndex());
+    EXPECT_EQ(g.HubDegreeThreshold(), 8u);
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(g.IsHub(v), g.StructuralDegree(v) >= 8u) << "v=" << v;
+    }
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = 0; v < n; ++v) {
+        const bool expect =
+            truth.count({std::min(u, v), std::max(u, v)}) != 0 && u != v;
+        EXPECT_EQ(g.HasEdge(u, v), expect) << "u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(GraphTest, HubIndexDisabledByZeroThreshold) {
+  GraphBuilder b(4);
+  for (VertexId v = 0; v < 4; ++v) {
+    for (VertexId w = v + 1; w < 4; ++w) b.AddEdge(v, w);
+  }
+  b.SetHubDegreeThreshold(0);
+  Graph g = std::move(b).Build();
+  EXPECT_FALSE(g.HasHubIndex());
+  EXPECT_TRUE(g.HasEdge(0, 3));  // binary-search fallback still works
+  EXPECT_FALSE(g.HasEdge(0, 0));
 }
 
 TEST(GraphTest, HasEdge) {
