@@ -660,7 +660,8 @@ bool DebugValidationEnabled() {
   return true;
 #else
   static const bool enabled = [] {
-    const char* v = std::getenv("CFL_VALIDATE");
+    // Read exactly once (static init), before any worker thread exists.
+    const char* v = std::getenv("CFL_VALIDATE");  // NOLINT(concurrency-mt-unsafe)
     return v != nullptr && v[0] != '\0' && v[0] != '0';
   }();
   return enabled;

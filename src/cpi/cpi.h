@@ -33,7 +33,9 @@
 // read concurrently from any number of enumeration workers without
 // synchronization (parallel/parallel_match.h relies on this). Keep it that
 // way: lazy caches inside const accessors would silently break the
-// parallel matcher.
+// parallel matcher. The CFL_IMMUTABLE_AFTER_BUILD marker below has
+// tools/cfl_lint enforce the contract (no non-const public methods, no
+// mutable members, no const_cast); see check/thread_annotations.h.
 
 #ifndef CFL_CPI_CPI_H_
 #define CFL_CPI_CPI_H_
@@ -42,6 +44,7 @@
 #include <span>
 #include <vector>
 
+#include "check/thread_annotations.h"
 #include "decomp/bfs_tree.h"
 #include "graph/graph.h"
 
@@ -49,6 +52,8 @@ namespace cfl {
 
 class Cpi {
  public:
+  CFL_IMMUTABLE_AFTER_BUILD(Cpi);
+
   Cpi() = default;
 
   // The BFS tree this CPI is defined over.

@@ -36,7 +36,10 @@
 // built, a Graph is immutable: every accessor is const and writes nothing
 // (no mutable members, no lazy caches), so a single instance is safe to
 // share by reference across concurrent enumeration workers — the parallel
-// matcher (parallel/parallel_match.h) depends on this contract.
+// matcher (parallel/parallel_match.h) depends on this contract. The
+// CFL_IMMUTABLE_AFTER_BUILD marker below makes the contract machine-checked:
+// tools/cfl_lint rejects non-const public methods, mutable members, and
+// const_cast in marked classes (see check/thread_annotations.h).
 
 #ifndef CFL_GRAPH_GRAPH_H_
 #define CFL_GRAPH_GRAPH_H_
@@ -45,6 +48,8 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "check/thread_annotations.h"
 
 namespace cfl {
 
@@ -57,6 +62,8 @@ class GraphBuilder;
 
 class Graph {
  public:
+  CFL_IMMUTABLE_AFTER_BUILD(Graph);
+
   Graph() = default;
 
   Graph(const Graph&) = default;

@@ -8,7 +8,8 @@ namespace cfl {
 namespace {
 
 const char* Getenv(const char* name) {
-  const char* value = std::getenv(name);
+  // Config is read once at startup, before any worker thread exists.
+  const char* value = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   return (value != nullptr && value[0] != '\0') ? value : nullptr;
 }
 

@@ -22,6 +22,7 @@
 
 #include <memory>
 
+#include "check/thread_annotations.h"
 #include "cpi/candidate_filter.h"
 #include "cpi/cpi_builder.h"
 #include "decomp/cfl_decomposition.h"
@@ -55,7 +56,12 @@ struct MatchOptions {
 // Once built, a PreparedQuery is immutable and reads only const state of
 // the data graph, so one instance can be shared by reference across any
 // number of concurrent enumeration workers (see parallel/parallel_match.h).
+// The marker makes tools/cfl_lint reject mutations sneaking in as methods,
+// mutable members, or const_cast (rule `immutable-class`); workers must
+// treat the public fields as read-only after Prepare returns.
 struct PreparedQuery {
+  CFL_IMMUTABLE_AFTER_BUILD(PreparedQuery);
+
   CflDecomposition decomposition;
   BfsTree tree;
   Cpi cpi;

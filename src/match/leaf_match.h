@@ -87,6 +87,7 @@ class LeafMatcher {
   // matcher gives each enumeration worker its own copy (copying is cheap:
   // the grouping vectors plus this scratch), all pointing at the one
   // shared immutable CPI.
+  // cfl-lint: allow(mutable-member) per-call scratch; never shared — each enumeration worker owns a private LeafMatcher copy (DESIGN.md §7)
   mutable std::vector<std::vector<std::pair<VertexId, uint32_t>>> avail_;
 };
 

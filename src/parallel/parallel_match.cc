@@ -72,11 +72,14 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
   const uint64_t cap = options.limits.max_embeddings;
   const bool compressed = data.HasMultiplicities();
 
-  // Shared, all-workers state. `total` is the embedding budget; `stop` is
-  // raised when it crosses the cap so every worker abandons its subtree at
-  // the next visit / next root claim. `next_root` is the work-stealing
-  // cursor. The deadline instant is fixed here, before the fork, so all
-  // workers expire together regardless of when they start.
+  // Shared, all-workers state — every field here is a std::atomic or const,
+  // the discipline the concurrency contracts require (anything else shared
+  // across workers would need a CFL_GUARDED_BY mutex; see
+  // check/thread_annotations.h and DESIGN.md §7). `total` is the embedding
+  // budget; `stop` is raised when it crosses the cap so every worker
+  // abandons its subtree at the next visit / next root claim. `next_root`
+  // is the work-stealing cursor. The deadline instant is fixed here, before
+  // the fork, so all workers expire together regardless of when they start.
   std::atomic<uint32_t> next_root{0};
   std::atomic<uint64_t> total{0};
   std::atomic<bool> stop{false};

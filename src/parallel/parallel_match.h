@@ -27,6 +27,12 @@
 // barrier (per-worker partials summed in worker order). Without a cap or
 // deadline hit the total is the exact embedding count, identical at any
 // thread count, because the root ranges partition the search space.
+//
+// Concurrency contracts are machine-checked: the shared structures (Graph,
+// Cpi, PreparedQuery) carry CFL_IMMUTABLE_AFTER_BUILD, everything shared
+// and mutable during a Run is a std::atomic, and the pool's own fields are
+// CFL_GUARDED_BY its mutex — Clang Thread Safety Analysis plus
+// tools/cfl_lint enforce all three (check/thread_annotations.h).
 
 #ifndef CFL_PARALLEL_PARALLEL_MATCH_H_
 #define CFL_PARALLEL_PARALLEL_MATCH_H_

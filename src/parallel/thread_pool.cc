@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.h"
 
+#include <exception>
+
 #include "check/check.h"
 
 namespace cfl {
@@ -15,25 +17,41 @@ ThreadPool::ThreadPool(uint32_t threads) : size_(threads == 0 ? 1 : threads) {
 ThreadPool::~ThreadPool() {
   if (workers_.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::InvokeBody(const std::function<void(uint32_t)>& body,
+                            uint32_t worker_id) {
+  // Fail fast with the message instead of letting the exception escape the
+  // worker thread (std::terminate with no context) or, worse, unwind past
+  // the pending_ decrement and strand Run on the join barrier.
+  try {
+    body(worker_id);
+  } catch (const std::exception& e) {
+    CFL_CHECK(false) << " — ThreadPool body threw on worker " << worker_id
+                     << ": " << e.what();
+  } catch (...) {
+    CFL_CHECK(false) << " — ThreadPool body threw a non-std::exception on "
+                     << "worker " << worker_id;
+  }
 }
 
 void ThreadPool::Run(const std::function<void(uint32_t)>& body) {
   if (size_ == 1) {
-    body(0);
+    InvokeBody(body, 0);
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CFL_CHECK(pending_ == 0) << " — ThreadPool::Run is not reentrant";
   body_ = &body;
   pending_ = size_;
   ++generation_;
-  work_ready_.notify_all();
-  work_done_.wait(lock, [this] { return pending_ == 0; });
+  work_ready_.NotifyAll();
+  while (pending_ != 0) work_done_.Wait(mu_);
   body_ = nullptr;
 }
 
@@ -42,18 +60,19 @@ void ThreadPool::WorkerLoop(uint32_t worker_id) {
   while (true) {
     const std::function<void(uint32_t)>* body = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        work_ready_.Wait(mu_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       body = body_;
     }
-    (*body)(worker_id);
+    // Outside the lock: the body runs concurrently on every worker.
+    InvokeBody(*body, worker_id);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) work_done_.notify_one();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) work_done_.NotifyOne();
     }
   }
 }

@@ -11,16 +11,23 @@
 // queries). A pool of size 1 spawns no threads at all and runs the body
 // inline on the caller, so a single-threaded ParallelCflMatcher is
 // genuinely serial — same stacks, same determinism, trivially debuggable.
+//
+// Lock discipline (machine-checked on Clang builds, see
+// check/thread_annotations.h): every cross-thread field is CFL_GUARDED_BY
+// the one pool mutex `mu_`; `size_` is const and `workers_` is touched only
+// by the constructing/destructing thread. Clang Thread Safety Analysis
+// (-Werror=thread-safety in the lint CI job) rejects any access to the
+// guarded fields outside a `MutexLock` scope.
 
 #ifndef CFL_PARALLEL_THREAD_POOL_H_
 #define CFL_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "check/thread_annotations.h"
 
 namespace cfl {
 
@@ -38,22 +45,32 @@ class ThreadPool {
 
   // Runs body(worker_id) for worker_id in [0, size()) and returns once all
   // workers have finished (the join barrier). `body` must be safe to call
-  // concurrently from size() threads and must not throw. Not reentrant:
-  // one Run at a time per pool.
-  void Run(const std::function<void(uint32_t)>& body);
+  // concurrently from size() threads and must not throw: a throwing body is
+  // caught at the worker boundary and fails fast via CFL_CHECK with the
+  // exception message (silently unwinding a worker would strand Run on the
+  // join barrier forever). Not reentrant: one Run at a time per pool,
+  // enforced with a CFL_CHECK.
+  void Run(const std::function<void(uint32_t)>& body) CFL_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(uint32_t worker_id);
+  void WorkerLoop(uint32_t worker_id) CFL_EXCLUDES(mu_);
+
+  // The worker boundary: invokes `body(worker_id)` and converts any escaped
+  // exception into a fail-fast CFL_CHECK carrying the message.
+  static void InvokeBody(const std::function<void(uint32_t)>& body,
+                         uint32_t worker_id);
 
   const uint32_t size_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  const std::function<void(uint32_t)>* body_ = nullptr;  // valid during a Run
-  uint64_t generation_ = 0;  // bumped per Run; wakes workers exactly once
-  uint32_t pending_ = 0;     // workers still inside the current Run
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_ready_;  // signaled under mu_: new generation or shutdown
+  CondVar work_done_;   // signaled under mu_: pending_ reached zero
+
+  // Valid while a Run is in flight (pending_ > 0), null otherwise.
+  const std::function<void(uint32_t)>* body_ CFL_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ CFL_GUARDED_BY(mu_) = 0;  // bumped per Run
+  uint32_t pending_ CFL_GUARDED_BY(mu_) = 0;  // workers inside current Run
+  bool shutdown_ CFL_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> workers_;  // empty when size_ == 1
 };

@@ -1,0 +1,8 @@
+// Fixture: malformed escape hatches must fire `bad-allow` — a bogus
+// suppression must not silently suppress anything.
+// Never compiled — checked-in input for tests/lint_test.cc.
+
+// cfl-lint: allow(no-such-rule) the rule id does not exist
+int WithUnknownRule();
+
+int WithMissingReason();  // cfl-lint: allow(raw-assert)

@@ -1,0 +1,16 @@
+// Fixture: a `mutable` member without an allow-comment must fire
+// `mutable-member` — const-invisible caches are how "immutable" structures
+// grow data races.
+// Never compiled — checked-in input for tests/lint_test.cc.
+#ifndef CFL_TESTS_LINT_FIXTURES_BAD_MUTABLE_H_
+#define CFL_TESTS_LINT_FIXTURES_BAD_MUTABLE_H_
+
+class Histogram {
+ public:
+  int Quantile(double q) const;
+
+ private:
+  mutable int cached_quantile_ = -1;
+};
+
+#endif  // CFL_TESTS_LINT_FIXTURES_BAD_MUTABLE_H_

@@ -1,0 +1,12 @@
+// Fixture: a well-formed allow-comment (known rule + reason) suppresses
+// exactly the annotated line; the file must lint clean.
+// Never compiled — checked-in input for tests/lint_test.cc.
+
+class Memo {
+ public:
+  int Get(int key) const;
+
+ private:
+  // cfl-lint: allow(mutable-member) fixture: private memo cache, single-threaded by construction
+  mutable int last_result_ = 0;
+};

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -60,6 +61,29 @@ TEST(ThreadPoolTest, ZeroClampsToOneAndRunsInline) {
     seen = std::this_thread::get_id();
   });
   EXPECT_EQ(seen, caller);  // size-1 pools run on the calling thread
+}
+
+// A body that throws must fail fast with a diagnostic, never unwind into
+// the worker loop or deadlock the Run() barrier. Exercise both execution
+// paths: the inline size-1 pool and a detached multi-worker pool.
+TEST(ThreadPoolDeathTest, ThrowingBodyFailsFastInline) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);
+  EXPECT_DEATH(
+      pool.Run([](uint32_t) { throw std::runtime_error("inline boom"); }),
+      "ThreadPool body threw.*inline boom");
+}
+
+TEST(ThreadPoolDeathTest, ThrowingBodyFailsFastOnWorker) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(4);
+        pool.Run([](uint32_t worker) {
+          if (worker == 2) throw std::runtime_error("worker boom");
+        });
+      },
+      "ThreadPool body threw.*worker boom");
 }
 
 // ---- Serial vs parallel equivalence -------------------------------------

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Resolves the build directory whose compile_commands.json the static-analysis
+# tools should share, and prints it to stdout. Both run_clang_tidy.sh and the
+# CI lint job source this so clang-tidy and cfl_lint always agree on one path.
+#
+# Usage:
+#   build_dir="$(tools/find_build_dir.sh [CANDIDATE])"
+#
+# Resolution order:
+#   1. CANDIDATE argument, if given (must contain compile_commands.json);
+#   2. $CFL_BUILD_DIR, if set;
+#   3. first of build-release/ build/ build-dev/ (preset binary dirs) that
+#      contains a compile_commands.json.
+# Exits 2 with a hint on stderr when nothing resolves.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+try() {
+  if [[ -n "$1" && -f "$1/compile_commands.json" ]]; then
+    printf '%s\n' "$1"
+    exit 0
+  fi
+}
+
+if [[ -n "${1:-}" ]]; then
+  try "$1"
+  echo "find_build_dir.sh: '$1' has no compile_commands.json" >&2
+  exit 2
+fi
+try "${CFL_BUILD_DIR:-}"
+for candidate in "${repo_root}/build-release" "${repo_root}/build" \
+                 "${repo_root}/build-dev"; do
+  try "${candidate}"
+done
+
+echo "find_build_dir.sh: no compile_commands.json found; configure first," \
+     "e.g.: cmake --preset release" >&2
+exit 2

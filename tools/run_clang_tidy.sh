@@ -6,8 +6,9 @@
 # Usage:
 #   tools/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
 #
-# BUILD_DIR defaults to the first of build-release/ build/ that contains a
-# compile_commands.json (every configure exports one; see CMakeLists.txt).
+# BUILD_DIR is resolved by tools/find_build_dir.sh (argument, then
+# $CFL_BUILD_DIR, then the preset binary dirs) so clang-tidy and cfl_lint
+# share a single compile-commands path in CI.
 # Exits non-zero if clang-tidy reports any warning promoted to error by the
 # WarningsAsErrors list in .clang-tidy, so CI can gate on it.
 
@@ -41,19 +42,7 @@ if [[ $# -gt 0 && "$1" == "--" ]]; then
   shift
   extra_args=("$@")
 fi
-if [[ -z "${build_dir}" ]]; then
-  for candidate in "${repo_root}/build-release" "${repo_root}/build"; do
-    if [[ -f "${candidate}/compile_commands.json" ]]; then
-      build_dir="${candidate}"
-      break
-    fi
-  done
-fi
-if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
-  echo "run_clang_tidy.sh: no compile_commands.json found; configure first," \
-       "e.g.: cmake --preset release" >&2
-  exit 2
-fi
+build_dir="$("${repo_root}/tools/find_build_dir.sh" "${build_dir}")"
 
 mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)
 echo "clang-tidy (${tidy_bin}) over ${#sources[@]} files" \
