@@ -29,6 +29,7 @@
 #include "harness/runner.h"
 #include "harness/table.h"
 #include "match/engine.h"
+#include "obs/stats.h"
 #include "parallel/parallel_match.h"
 
 namespace cfl::bench {
@@ -137,7 +138,13 @@ inline Graph MakeBenchGraph(const std::string& dataset, const Config& c) {
 //   {"artifact":..., "dataset":..., "set":..., "engine":..., "scale":...,
 //    "threads":..., "queries_run":..., "inf":..., "avg_total_ms":...,
 //    "avg_order_ms":..., "avg_enum_ms":..., "avg_index_entries":...,
-//    "total_embeddings":...}
+//    "total_embeddings":...,
+//    "stats_enabled":..., "candidates_generated":..., "candidates_pruned":...,
+//    "cpi_candidate_entries":..., "cpi_adjacency_entries":...,
+//    "backward_probes":..., "hub_probes":..., "partials_discarded":...,
+//    "core_visits":..., "leaf_calls":...}
+// The stats_* tail is the QuerySetResult::stats roll-up (obs::StatsTotals,
+// summed over the set's first repetition; see src/obs/stats.h).
 inline void AppendJsonResult(const std::string& artifact,
                              const std::string& dataset,
                              const std::string& set,
@@ -159,7 +166,20 @@ inline void AppendJsonResult(const std::string& artifact,
       << ",\"avg_order_ms\":" << r.avg_order_ms
       << ",\"avg_enum_ms\":" << r.avg_enum_ms
       << ",\"avg_index_entries\":" << r.avg_index_entries
-      << ",\"total_embeddings\":" << r.total_embeddings << "}\n";
+      << ",\"total_embeddings\":" << r.total_embeddings
+      // Execution-stats roll-up (src/obs/stats.h). All-zero when the engine
+      // records no stats or the build has CFL_STATS=OFF; the fields stay in
+      // the schema either way so downstream readers need no presence checks.
+      << ",\"stats_enabled\":" << (obs::kStatsEnabled ? "true" : "false")
+      << ",\"candidates_generated\":" << r.stats.candidates_generated
+      << ",\"candidates_pruned\":" << r.stats.candidates_pruned
+      << ",\"cpi_candidate_entries\":" << r.stats.cpi_candidate_entries
+      << ",\"cpi_adjacency_entries\":" << r.stats.cpi_adjacency_entries
+      << ",\"backward_probes\":" << r.stats.backward_probes
+      << ",\"hub_probes\":" << r.stats.hub_probes
+      << ",\"partials_discarded\":" << r.stats.partials_discarded
+      << ",\"core_visits\":" << r.stats.core_visits
+      << ",\"leaf_calls\":" << r.stats.leaf_calls << "}\n";
 }
 
 // Runs `engine` over `queries` and, when CFL_BENCH_JSON is set, appends the

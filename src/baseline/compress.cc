@@ -1,7 +1,6 @@
 #include "baseline/compress.h"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_map>
 
 #include "baseline/turboiso.h"

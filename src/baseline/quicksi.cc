@@ -1,10 +1,10 @@
 #include "baseline/quicksi.h"
 
-#include <chrono>
 #include <vector>
 
 #include "graph/graph_stats.h"
 #include "match/embedding.h"
+#include "obs/clock.h"
 #include "order/quicksi_order.h"
 
 namespace cfl {
@@ -19,7 +19,7 @@ class QuickSiEngine : public SubgraphEngine {
   std::string_view name() const override { return "QuickSI"; }
 
   MatchResult Run(const Graph& query, const MatchLimits& limits) override {
-    auto start = std::chrono::steady_clock::now();
+    const obs::TimePoint start = obs::Now();
     MatchResult result;
     Deadline deadline(limits.time_limit_seconds);
     const uint32_t n = query.NumVertices();
@@ -27,11 +27,7 @@ class QuickSiEngine : public SubgraphEngine {
     // QI-sequence (ordering time, negligible per the paper — it only reads
     // the precomputed frequency table).
     std::vector<QuickSiStep> seq = ComputeQiSequence(query, data_, freq_);
-    {
-      auto ordered = std::chrono::steady_clock::now();
-      result.order_seconds =
-          std::chrono::duration<double>(ordered - start).count();
-    }
+    result.order_seconds = obs::SecondsSince(start);
 
     Embedding mapping(n, kInvalidVertex);
     std::vector<uint32_t> used(data_.NumVertices(), 0);
@@ -96,10 +92,14 @@ class QuickSiEngine : public SubgraphEngine {
       cursor[depth] = 0;
     }
 
-    result.total_seconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - start)
-                               .count();
+    result.total_seconds = obs::SecondsSince(start);
     result.enumerate_seconds = result.total_seconds - result.order_seconds;
+    CFL_STATS_ONLY({
+      result.stats.recorded = true;
+      result.stats.order_seconds = result.order_seconds;
+      result.stats.enumerate_seconds = result.enumerate_seconds;
+      result.stats.embeddings_found = result.embeddings;
+    })
     return result;
   }
 

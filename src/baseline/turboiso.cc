@@ -1,13 +1,13 @@
 #include "baseline/turboiso.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <unordered_map>
 #include <vector>
 
 #include "cpi/candidate_filter.h"
 #include "match/embedding.h"
+#include "obs/clock.h"
 
 namespace cfl {
 
@@ -129,7 +129,7 @@ double TurboIsoEngine::SubtreeCount(uint32_t node, VertexId v) {
 }
 
 MatchResult TurboIsoEngine::Run(const Graph& query, const MatchLimits& limits) {
-  auto t_start = std::chrono::steady_clock::now();
+  const obs::TimePoint t_start = obs::Now();
   MatchResult result;
   Deadline deadline(limits.time_limit_seconds);
   const uint32_t n = query.NumVertices();
@@ -246,15 +246,12 @@ MatchResult TurboIsoEngine::Run(const Graph& query, const MatchLimits& limits) {
     if (data_.degree(vs) < query.StructuralDegree(root.rep)) continue;
     if (!NlfOk(query, root.rep, data_, vs)) continue;
 
-    auto t_region = std::chrono::steady_clock::now();
+    const obs::TimePoint t_region = obs::Now();
     cr_.clear();
     explore_memo_.clear();
     count_memo_.clear();
     if (!Explore(query, 0, vs)) {
-      explore_order_seconds +=
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        t_region)
-              .count();
+      explore_order_seconds += obs::SecondsSince(t_region);
       continue;
     }
     for (const auto& [key, cands] : cr_) result.index_entries += cands.size();
@@ -320,11 +317,8 @@ MatchResult TurboIsoEngine::Run(const Graph& query, const MatchLimits& limits) {
       }
     }
 
-    explore_order_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_region)
-            .count();
-    auto t_search = std::chrono::steady_clock::now();
+    explore_order_seconds += obs::SecondsSince(t_region);
+    const obs::TimePoint t_search = obs::Now();
 
     // SubgraphSearch.
     std::vector<uint32_t> cursor(steps.size(), 0);
@@ -404,18 +398,20 @@ MatchResult TurboIsoEngine::Run(const Graph& query, const MatchLimits& limits) {
         mapping[u] = kInvalidVertex;
       }
     }
-    search_seconds += std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t_search)
-                          .count();
+    search_seconds += obs::SecondsSince(t_search);
 
     if (result.timed_out || result.reached_limit) break;
   }
 
   result.order_seconds = explore_order_seconds;
   result.enumerate_seconds = search_seconds;
-  result.total_seconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - t_start)
-                             .count();
+  result.total_seconds = obs::SecondsSince(t_start);
+  CFL_STATS_ONLY({
+    result.stats.recorded = true;
+    result.stats.order_seconds = result.order_seconds;
+    result.stats.enumerate_seconds = result.enumerate_seconds;
+    result.stats.embeddings_found = result.embeddings;
+  })
   return result;
 }
 

@@ -1,9 +1,9 @@
 #include "baseline/vf2.h"
 
-#include <chrono>
 #include <vector>
 
 #include "match/embedding.h"
+#include "obs/clock.h"
 
 namespace cfl {
 
@@ -16,7 +16,7 @@ class Vf2Engine : public SubgraphEngine {
   std::string_view name() const override { return "VF2"; }
 
   MatchResult Run(const Graph& query, const MatchLimits& limits) override {
-    auto start = std::chrono::steady_clock::now();
+    const obs::TimePoint start = obs::Now();
     MatchResult result;
     Deadline deadline(limits.time_limit_seconds);
     const uint32_t n = query.NumVertices();
@@ -126,10 +126,13 @@ class Vf2Engine : public SubgraphEngine {
       cursor[depth] = 0;
     }
 
-    result.total_seconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - start)
-                               .count();
+    result.total_seconds = obs::SecondsSince(start);
     result.enumerate_seconds = result.total_seconds;
+    CFL_STATS_ONLY({
+      result.stats.recorded = true;
+      result.stats.enumerate_seconds = result.enumerate_seconds;
+      result.stats.embeddings_found = result.embeddings;
+    })
     return result;
   }
 

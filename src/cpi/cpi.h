@@ -99,6 +99,11 @@ class Cpi {
     return cand_arena_.size() + adj_entry_arena_.size();
   }
 
+  // The two arena sizes separately (MatchStats reports them side by side;
+  // their sum is SizeInEntries()).
+  uint64_t NumCandidateEntries() const { return cand_arena_.size(); }
+  uint64_t NumAdjacencyEntries() const { return adj_entry_arena_.size(); }
+
   uint64_t MemoryBytes() const;
 
   // --- Introspection (validators and tests; not used by enumeration) -----

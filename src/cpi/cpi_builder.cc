@@ -4,6 +4,7 @@
 
 #include "check/check.h"
 #include "cpi/candidate_filter.h"
+#include "obs/clock.h"
 
 namespace cfl {
 
@@ -88,6 +89,7 @@ void CpiBuilder::TopDownConstruct(const Graph& q, const BfsTree& tree) {
       cand_[r].push_back(v);
     }
   }
+  CFL_STATS_ONLY(if (stats_) stats_->generated[r] = cand_[r].size();)
   visited[r] = true;
 
   std::vector<std::vector<VertexId>> unvisited_same_level(n);
@@ -107,12 +109,16 @@ void CpiBuilder::TopDownConstruct(const Graph& q, const BfsTree& tree) {
         }
       }
       GenerateCandidates(q, u, vis_);
+      CFL_STATS_ONLY(if (stats_) stats_->generated[u] = cand_[u].size();)
       visited[u] = true;
     }
 
     // Backward candidate pruning (lines 18-23), reverse order within level.
     for (auto it = level.rbegin(); it != level.rend(); ++it) {
+      CFL_STATS_ONLY(const size_t before = cand_[*it].size();)
       RefineCandidates(*it, unvisited_same_level[*it]);
+      CFL_STATS_ONLY(
+          if (stats_) stats_->pruned_backward[*it] = before - cand_[*it].size();)
     }
   }
 }
@@ -127,7 +133,10 @@ void CpiBuilder::BottomUpRefine(const Graph& q, const BfsTree& tree) {
     for (VertexId uprime : q.Neighbors(u)) {
       if (tree.level[uprime] == tree.level[u] + 1) lower_.push_back(uprime);
     }
+    CFL_STATS_ONLY(const size_t before = cand_[u].size();)
     RefineCandidates(u, lower_);
+    CFL_STATS_ONLY(
+        if (stats_) stats_->pruned_bottomup[u] = before - cand_[u].size();)
   }
 }
 
@@ -183,21 +192,36 @@ void CpiBuilder::BuildAdjacency(const BfsTree& tree, Cpi* cpi) {
 }
 
 Cpi CpiBuilder::Build(const Graph& q, const BfsTree& tree,
-                      CpiStrategy strategy) {
+                      CpiStrategy strategy, CpiBuildStats* stats) {
   const uint32_t n = q.NumVertices();
   cand_.assign(n, {});
+  stats_ = nullptr;
+  CFL_STATS_ONLY(stats_ = stats;
+                 if (stats_) {
+                   stats_->generated.assign(n, 0);
+                   stats_->pruned_backward.assign(n, 0);
+                   stats_->pruned_bottomup.assign(n, 0);
+                 })
+  CFL_STATS_ONLY(obs::WallTimer timer;)
 
   if (strategy == CpiStrategy::kNaive) {
     // Section 4.1's naive sound CPI: candidates by label only.
     for (VertexId u = 0; u < n; ++u) {
       std::span<const VertexId> vs = data_.VerticesWithLabel(q.label(u));
       cand_[u].assign(vs.begin(), vs.end());
+      CFL_STATS_ONLY(if (stats_) stats_->generated[u] = cand_[u].size();)
     }
+    CFL_STATS_ONLY(if (stats_) stats_->top_down_seconds = timer.Lap();)
   } else {
     TopDownConstruct(q, tree);
-    if (strategy == CpiStrategy::kRefined) BottomUpRefine(q, tree);
+    CFL_STATS_ONLY(if (stats_) stats_->top_down_seconds = timer.Lap();)
+    if (strategy == CpiStrategy::kRefined) {
+      BottomUpRefine(q, tree);
+      CFL_STATS_ONLY(if (stats_) stats_->bottom_up_seconds = timer.Lap();)
+    }
   }
 
+  CFL_STATS_ONLY(timer.Lap();)  // exclude any stats bookkeeping gaps
   Cpi cpi;
   cpi.tree_ = tree;
   BuildAdjacency(tree, &cpi);
@@ -212,6 +236,8 @@ Cpi CpiBuilder::Build(const Graph& q, const BfsTree& tree,
     cpi.cand_arena_.insert(cpi.cand_arena_.end(), cand_[u].begin(),
                            cand_[u].end());
   }
+  CFL_STATS_ONLY(if (stats_) stats_->adjacency_seconds = timer.Lap();)
+  stats_ = nullptr;
   return cpi;
 }
 

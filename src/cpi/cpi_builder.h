@@ -34,6 +34,7 @@
 #include "cpi/cpi.h"
 #include "decomp/bfs_tree.h"
 #include "graph/graph.h"
+#include "obs/stats.h"
 
 namespace cfl {
 
@@ -53,8 +54,13 @@ class CpiBuilder {
   CpiBuilder& operator=(const CpiBuilder&) = delete;
 
   // Builds the CPI of `q` over the data graph regarding BFS tree `tree`.
+  // When `stats` is non-null (and CFL_STATS is on), records per-vertex
+  // candidate generation/pruning counts and per-phase build times into it;
+  // the accounting identity generated[u] - pruned[u] == |C(u)| holds for
+  // every strategy.
   Cpi Build(const Graph& q, const BfsTree& tree,
-            CpiStrategy strategy = CpiStrategy::kRefined);
+            CpiStrategy strategy = CpiStrategy::kRefined,
+            CpiBuildStats* stats = nullptr);
 
  private:
   // Candidate-set generation passes; all operate on cand_ (per query vertex).
@@ -72,6 +78,9 @@ class CpiBuilder {
 
   const Graph& data_;
   std::vector<std::vector<VertexId>> cand_;
+
+  // Stats sink for the Build in flight; null when the caller passed none.
+  CpiBuildStats* stats_ = nullptr;
 
   // Scratch, |V(G)|-sized, reset via touched lists after each use.
   std::vector<uint32_t> cnt_;

@@ -38,6 +38,7 @@ QuerySetResult RunOnce(SubgraphEngine& engine,
     enum_s += r.enumerate_seconds;
     index_entries += static_cast<double>(r.index_entries);
     out.total_embeddings += r.embeddings;
+    CFL_STATS_ONLY(out.stats.Add(r.stats);)
     if (r.timed_out) {
       ++out.timeouts;
       out.exhausted_budget = true;  // a cut-off query means the set is INF

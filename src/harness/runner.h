@@ -13,6 +13,7 @@
 
 #include "graph/graph.h"
 #include "match/engine.h"
+#include "obs/stats.h"
 
 namespace cfl {
 
@@ -27,6 +28,11 @@ struct QuerySetResult {
   double avg_index_entries = 0.0;
   uint64_t total_embeddings = 0;
   uint32_t timeouts = 0;  // per-query deadline hits
+
+  // Execution-stats roll-up over the set (first repetition; the counters
+  // are deterministic, see RunConfig::repetitions). All-zero for engines
+  // that do not record stats or under CFL_STATS=OFF.
+  obs::StatsTotals stats;
 
   bool IsInf() const { return exhausted_budget; }
 };

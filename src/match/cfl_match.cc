@@ -1,6 +1,5 @@
 #include "match/cfl_match.h"
 
-#include <chrono>
 #include <unordered_map>
 
 #include "check/check.h"
@@ -10,27 +9,12 @@
 #include "decomp/two_core.h"
 #include "match/enumerator.h"
 #include "match/leaf_match.h"
+#include "obs/clock.h"
 #include "order/cardinality.h"
 
 namespace cfl {
 
-namespace {
-
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double Lap() {
-    auto now = std::chrono::steady_clock::now();
-    double s = std::chrono::duration<double>(now - start_).count();
-    start_ = now;
-    return s;
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace
+using obs::WallTimer;
 
 CflMatcher::CflMatcher(const Graph& data)
     : data_(data), label_degree_index_(data), cpi_builder_(data) {
@@ -57,6 +41,11 @@ double CflMatcher::EstimateEmbeddings(const Graph& q) {
 PreparedQuery CflMatcher::Prepare(const Graph& q, const MatchOptions& options) {
   PreparedQuery prepared;
   WallTimer phase_timer;
+  // Stats phase laps come from their own timer so they can exclude the
+  // bookkeeping between phases (validation, stats copying); every lap is
+  // still a disjoint interval of the same wall clock, so the phase-sum
+  // <= total identity holds by construction.
+  CFL_STATS_ONLY(WallTimer stats_timer; prepared.stats.recorded = true;)
 
   // --- Decomposition, root selection, BFS tree --------------------------
   std::vector<VertexId> core = TwoCoreVertices(q);
@@ -71,10 +60,26 @@ PreparedQuery CflMatcher::Prepare(const Graph& q, const MatchOptions& options) {
   VertexId root = SelectRoot(q, data_, label_degree_index_, *root_choices);
   prepared.decomposition = DecomposeCfl(q, root);
   prepared.tree = BuildBfsTree(q, root);
+  CFL_STATS_ONLY(prepared.stats.decompose_seconds = stats_timer.Lap();)
 
   // --- CPI ----------------------------------------------------------------
-  prepared.cpi = cpi_builder_.Build(q, prepared.tree, options.cpi_strategy);
+  CpiBuildStats* cpi_stats = nullptr;
+  CFL_STATS_ONLY(cpi_stats = &prepared.stats.cpi;)
+  prepared.cpi =
+      cpi_builder_.Build(q, prepared.tree, options.cpi_strategy, cpi_stats);
   prepared.build_seconds = phase_timer.Lap();
+  CFL_STATS_ONLY({
+    MatchStats& s = prepared.stats;
+    s.cpi_top_down_seconds = s.cpi.top_down_seconds;
+    s.cpi_bottom_up_seconds = s.cpi.bottom_up_seconds;
+    s.cpi_adjacency_seconds = s.cpi.adjacency_seconds;
+    s.cpi_candidate_entries = prepared.cpi.NumCandidateEntries();
+    s.cpi_adjacency_entries = prepared.cpi.NumAdjacencyEntries();
+    s.cpi_candidates_per_vertex.resize(q.NumVertices());
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      s.cpi_candidates_per_vertex[u] = prepared.cpi.NumCandidates(u);
+    }
+  })
 
   // Debug validation (CFL_VALIDATE=1 / CFL_FORCE_VALIDATE): re-check the
   // structures enumeration will trust blindly; see check/validate.h.
@@ -91,10 +96,12 @@ PreparedQuery CflMatcher::Prepare(const Graph& q, const MatchOptions& options) {
   }
 
   // --- Matching order ----------------------------------------------------
+  CFL_STATS_ONLY(stats_timer.Lap();)  // exclude validation/stats bookkeeping
   prepared.order =
       ComputeMatchingOrder(q, prepared.cpi, prepared.decomposition,
                            options.decomposition, options.ordering);
   prepared.order_seconds = phase_timer.Lap();
+  CFL_STATS_ONLY(prepared.stats.order_seconds = stats_timer.Lap();)
   return prepared;
 }
 
@@ -108,6 +115,7 @@ MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
   result.build_seconds = prepared.build_seconds;
   result.order_seconds = prepared.order_seconds;
   result.index_entries = cpi.SizeInEntries();
+  CFL_STATS_ONLY(result.stats = prepared.stats;)
 
   if (prepared.no_results) {
     result.total_seconds = total_timer.Lap();
@@ -135,8 +143,21 @@ MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
             count = ExpansionFactor(data_, state.mapping);
           }
           if (leaf_matcher.HasLeaves()) {
-            count = SaturatingMul(
-                count, leaf_matcher.CountEmbeddings(data_, state));
+            // Leaf time is sampled (1 in kLeafSampleStride calls), not
+            // measured per call: CountEmbeddings is the hottest call site
+            // and two clock reads per visit would dominate it.
+            CFL_STATS_ONLY(++state.stats.leaf_calls;
+                           obs::TimePoint leaf_t0;
+                           const bool sample = state.stats.ShouldSampleLeaf();
+                           if (sample) leaf_t0 = obs::Now();)
+            const uint64_t leaf_count =
+                leaf_matcher.CountEmbeddings(data_, state);
+            CFL_STATS_ONLY(if (sample) {
+              ++state.stats.leaf_sampled_calls;
+              state.stats.leaf_sampled_seconds += obs::SecondsSince(leaf_t0);
+            } state.stats.leaf_products =
+                  SaturatingAdd(state.stats.leaf_products, leaf_count);)
+            count = SaturatingMul(count, leaf_count);
           }
           result.embeddings = SaturatingAdd(result.embeddings, count);
           return result.embeddings < cap;
@@ -146,6 +167,8 @@ MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
     const bool validate_embeddings = check::DebugValidationEnabled();
     status = EnumeratePartial(
         data_, cpi, order.steps, state, deadline, [&]() {
+          CFL_STATS_ONLY(
+              if (leaf_matcher.HasLeaves()) ++state.stats.leaf_calls;)
           EnumerateStatus leaf_status = leaf_matcher.EnumerateEmbeddings(
               data_, state, deadline, [&]() {
                 ++result.embeddings;
@@ -171,6 +194,21 @@ MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
   result.candidates_tried = state.candidates_tried;
   result.candidates_bound = state.candidates_bound;
   result.enumerate_seconds = phase_timer.Lap();
+  CFL_STATS_ONLY({
+    MatchStats& s = result.stats;
+    s.enumerate_seconds = result.enumerate_seconds;
+    s.enumeration.Merge(state.stats);
+    s.candidates_tried = result.candidates_tried;
+    s.candidates_bound = result.candidates_bound;
+    s.embeddings_found = result.embeddings;
+    s.threads = 1;
+    s.root_candidates = cpi.NumCandidates(order.steps.front().u);
+    // Serial run: the one "worker" claims every root it exhausted. Report
+    // the full count only for complete runs; a stop/timeout leaves it
+    // unknown, and claiming fewer than root_candidates is always sound.
+    s.worker_roots_claimed.assign(
+        1, status == EnumerateStatus::kDone ? s.root_candidates : 0);
+  })
   result.total_seconds = total_timer.Lap();
   return result;
 }

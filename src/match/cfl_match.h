@@ -73,6 +73,11 @@ struct PreparedQuery {
 
   double build_seconds = 0.0;  // CPI construction time
   double order_seconds = 0.0;  // matching-order computation time
+
+  // Prepare-side half of the execution stats (obs/stats.h): decomposition /
+  // CPI / ordering phase timers and per-vertex candidate accounting. Match
+  // copies this into MatchResult::stats and adds the enumeration half.
+  MatchStats stats;
 };
 
 class CflMatcher {

@@ -4,12 +4,13 @@
 #ifndef CFL_MATCH_EMBEDDING_H_
 #define CFL_MATCH_EMBEDDING_H_
 
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/clock.h"
+#include "obs/stats.h"
 
 namespace cfl {
 
@@ -36,13 +37,12 @@ class Deadline {
   // seconds <= 0 constructs a never-expiring deadline.
   explicit Deadline(double seconds) {
     if (seconds > 0.0) {
-      expires_at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                       std::chrono::duration<double>(seconds));
+      expires_at_ = obs::AfterSeconds(obs::Now(), seconds);
       armed_ = true;
     }
   }
 
-  bool Expired() const { return armed_ && Clock::now() >= expires_at_; }
+  bool Expired() const { return armed_ && obs::Now() >= expires_at_; }
 
   // Amortizes the clock read: returns true at most once per kStride calls
   // plus whenever already known-expired.
@@ -55,9 +55,8 @@ class Deadline {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
   static constexpr uint32_t kStride = 4096;
-  Clock::time_point expires_at_{};
+  obs::TimePoint expires_at_{};
   bool armed_ = false;
   bool expired_ = false;
   uint32_t ticks_ = 0;
@@ -85,6 +84,11 @@ struct MatchResult {
   // not report them.
   uint64_t candidates_tried = 0;
   uint64_t candidates_bound = 0;
+
+  // Detailed execution stats (src/obs/stats.h). Fields stay zero when the
+  // engine does not record them or the build has CFL_STATS=OFF; check
+  // stats.recorded before interpreting.
+  MatchStats stats;
 
   double OrderingSeconds() const { return build_seconds + order_seconds; }
 };

@@ -57,6 +57,10 @@ struct EnumeratorState {
   uint64_t candidates_tried = 0;
   uint64_t candidates_bound = 0;
 
+  // Detailed stats shard (obs/stats.h). Worker-private like the rest of the
+  // state: the parallel matcher merges shards only after the join barrier.
+  EnumStats stats;
+
   EnumeratorState(uint32_t query_vertices, uint32_t data_vertices)
       : mapping(query_vertices, kInvalidVertex),
         position(query_vertices, 0),
@@ -84,6 +88,29 @@ EnumerateStatus EnumeratePartial(
   // Per-depth cursor into the candidate source.
   std::vector<uint32_t> cursor(depth_count, 0);
 
+  // Stats builds classify each backward probe as hub-answered or not
+  // (HasEdge is O(1) when either endpoint is a hub). Doing that inside the
+  // probe loop costs two hub-index reads per probe — measurable against an
+  // O(1) bit-test HasEdge — so instead `hub_prefix[d][i]` holds how many of
+  // the first i backward endpoints of steps[d] are currently mapped to
+  // hubs. The shallower bindings are fixed for a depth's whole candidate
+  // sweep, so the prefix is rebuilt only on descent (where the sweep
+  // restarts) and the per-candidate count reduces to a table lookup plus at
+  // most one IsHub(v).
+  CFL_STATS_ONLY(
+      std::vector<std::vector<uint32_t>> hub_prefix(depth_count);
+      auto rebuild_hub_prefix = [&](size_t d) {
+        const std::vector<VertexId>& backward = steps[d].backward;
+        std::vector<uint32_t>& pre = hub_prefix[d];
+        pre.resize(backward.size() + 1);
+        pre[0] = 0;
+        for (size_t i = 0; i < backward.size(); ++i) {
+          pre[i + 1] =
+              pre[i] + (data.IsHub(state.mapping[backward[i]]) ? 1 : 0);
+        }
+      };
+      rebuild_hub_prefix(0);)
+
   auto unbind = [&](size_t d) {
     VertexId u = steps[d].u;
     --state.used[state.mapping[u]];
@@ -94,6 +121,8 @@ EnumerateStatus EnumeratePartial(
   cursor[0] = root_begin;
   while (true) {
     if (deadline.ExpiredCoarse()) {
+      CFL_STATS_ONLY(state.stats.max_depth =
+                         std::max<uint64_t>(state.stats.max_depth, depth);)
       // Unwind bindings so `state.used` is clean for the caller.
       for (size_t d = 0; d < depth; ++d) unbind(d);
       return EnumerateStatus::kTimedOut;
@@ -120,15 +149,33 @@ EnumerateStatus EnumeratePartial(
       ++cursor[depth];
       ++state.candidates_tried;
       VertexId v = cpi.CandidateAt(step.u, pos);
-      if (state.used[v] >= data.multiplicity(v)) continue;
+      if (state.used[v] >= data.multiplicity(v)) {
+        CFL_STATS_ONLY(++state.stats.conflict_rejects;)
+        continue;
+      }
       bool ok = true;
+      CFL_STATS_ONLY(uint32_t probed = 0;)
       for (VertexId w : step.backward) {
+        CFL_STATS_ONLY(++probed;)
         if (!data.HasEdge(state.mapping[w], v)) {
           ok = false;
           break;
         }
       }
-      if (!ok) continue;
+      // Probe accounting once per candidate: the prefix table counts the
+      // probed endpoints mapped to hubs; a hub v makes the rest of the
+      // probes hub-answered too. IsHub(v) is consulted only when the prefix
+      // alone doesn't already prove every probe hub-answered.
+      CFL_STATS_ONLY(if (probed != 0) {
+        state.stats.backward_probes += probed;
+        uint32_t hubbed = hub_prefix[depth][probed];
+        if (hubbed != probed && data.IsHub(v)) hubbed = probed;
+        state.stats.hub_probes += hubbed;
+      })
+      if (!ok) {
+        CFL_STATS_ONLY(++state.stats.backward_rejects;)
+        continue;
+      }
       state.mapping[step.u] = v;
       state.position[step.u] = pos;
       ++state.used[v];
@@ -139,12 +186,22 @@ EnumerateStatus EnumeratePartial(
 
     if (!bound) {
       if (depth == 0) return EnumerateStatus::kDone;
+      // The deepest bound prefix is maintained here (and at the visit /
+      // timeout sites) instead of on every successful bind: every descent
+      // that reached depth d stops by discarding at d, visiting, or timing
+      // out, so recording at the stops sees the same maximum for a fraction
+      // of the bind path's cost.
+      CFL_STATS_ONLY(++state.stats.partials_discarded;
+                     state.stats.max_depth =
+                         std::max<uint64_t>(state.stats.max_depth, depth);)
       --depth;
       unbind(depth);
       continue;
     }
 
     if (depth + 1 == depth_count) {
+      CFL_STATS_ONLY(++state.stats.core_visits;
+                     state.stats.max_depth = depth_count;)
       bool keep_going = visit();
       unbind(depth);  // retry next candidate at this depth
       if (!keep_going) {
@@ -156,6 +213,7 @@ EnumerateStatus EnumeratePartial(
 
     ++depth;
     cursor[depth] = 0;
+    CFL_STATS_ONLY(rebuild_hub_prefix(depth);)
   }
 }
 

@@ -1,0 +1,207 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+namespace cfl {
+
+void EnumStats::Merge(const EnumStats& other) {
+  backward_probes += other.backward_probes;
+  hub_probes += other.hub_probes;
+  backward_rejects += other.backward_rejects;
+  conflict_rejects += other.conflict_rejects;
+  partials_discarded += other.partials_discarded;
+  max_depth = std::max(max_depth, other.max_depth);
+  core_visits += other.core_visits;
+  leaf_calls += other.leaf_calls;
+  leaf_products += other.leaf_products;
+  leaf_sampled_calls += other.leaf_sampled_calls;
+  leaf_sampled_seconds += other.leaf_sampled_seconds;
+}
+
+uint64_t CpiBuildStats::TotalGenerated() const {
+  return std::accumulate(generated.begin(), generated.end(), uint64_t{0});
+}
+
+uint64_t CpiBuildStats::TotalPruned() const {
+  uint64_t total =
+      std::accumulate(pruned_backward.begin(), pruned_backward.end(),
+                      uint64_t{0});
+  return total + std::accumulate(pruned_bottomup.begin(),
+                                 pruned_bottomup.end(), uint64_t{0});
+}
+
+double MatchStats::LeafSecondsEstimate() const {
+  if (enumeration.leaf_sampled_calls == 0) return 0.0;
+  double per_call = enumeration.leaf_sampled_seconds /
+                    static_cast<double>(enumeration.leaf_sampled_calls);
+  return per_call * static_cast<double>(enumeration.leaf_calls);
+}
+
+uint64_t MatchStats::TotalRootsClaimed() const {
+  return std::accumulate(worker_roots_claimed.begin(),
+                         worker_roots_claimed.end(), uint64_t{0});
+}
+
+namespace obs {
+
+namespace {
+
+std::string Violation(const char* what, uint64_t lhs, uint64_t rhs) {
+  std::ostringstream os;
+  os << what << " (" << lhs << " vs " << rhs << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string CheckStatsInvariants(const MatchStats& stats, uint64_t embeddings,
+                                 double total_seconds) {
+  if (!stats.recorded || !kStatsEnabled) return "";
+
+  // Identity 1: embeddings in the stats match the result they ride on.
+  if (stats.embeddings_found != embeddings) {
+    return Violation("stats.embeddings_found != result.embeddings",
+                     stats.embeddings_found, embeddings);
+  }
+
+  // Identity 2: per-vertex candidate accounting. The CPI-side vectors may
+  // be empty (naive strategy or no stats sink); when present they must be
+  // parallel and reconcile with the final candidate counts.
+  const CpiBuildStats& cpi = stats.cpi;
+  if (!cpi.generated.empty()) {
+    size_t n = cpi.generated.size();
+    if (cpi.pruned_backward.size() != n || cpi.pruned_bottomup.size() != n ||
+        stats.cpi_candidates_per_vertex.size() != n) {
+      return "cpi stats vectors have mismatched sizes";
+    }
+    for (size_t u = 0; u < n; ++u) {
+      uint64_t pruned = cpi.pruned_backward[u] + cpi.pruned_bottomup[u];
+      if (pruned > cpi.generated[u]) {
+        return Violation("pruned > generated for a query vertex", pruned,
+                         cpi.generated[u]);
+      }
+      if (cpi.generated[u] - pruned != stats.cpi_candidates_per_vertex[u]) {
+        return Violation("generated - pruned != |C(u)| for a query vertex",
+                         cpi.generated[u] - pruned,
+                         stats.cpi_candidates_per_vertex[u]);
+      }
+    }
+    uint64_t final_total =
+        std::accumulate(stats.cpi_candidates_per_vertex.begin(),
+                        stats.cpi_candidates_per_vertex.end(), uint64_t{0});
+    if (stats.cpi_candidate_entries != 0 &&
+        final_total != stats.cpi_candidate_entries) {
+      return Violation("sum |C(u)| != candidate arena size", final_total,
+                       stats.cpi_candidate_entries);
+    }
+  }
+
+  // Identity 3: phase laps of one monotonic timer cannot exceed the
+  // enclosing wall time. Allow a small absolute slack for the float adds.
+  if (total_seconds > 0.0 &&
+      stats.PhaseSecondsSum() > total_seconds + 1e-6) {
+    std::ostringstream os;
+    os << "phase timer sum exceeds total wall time ("
+       << stats.PhaseSecondsSum() << "s vs " << total_seconds << "s)";
+    return os.str();
+  }
+
+  // Identity 4: probe/reject sanity.
+  const EnumStats& e = stats.enumeration;
+  if (e.hub_probes > e.backward_probes) {
+    return Violation("hub_probes > backward_probes", e.hub_probes,
+                     e.backward_probes);
+  }
+  if (e.backward_rejects > e.backward_probes) {
+    return Violation("backward_rejects > backward_probes", e.backward_rejects,
+                     e.backward_probes);
+  }
+  if (e.leaf_sampled_calls > e.leaf_calls) {
+    return Violation("leaf_sampled_calls > leaf_calls", e.leaf_sampled_calls,
+                     e.leaf_calls);
+  }
+  if (stats.candidates_bound > stats.candidates_tried) {
+    return Violation("candidates_bound > candidates_tried",
+                     stats.candidates_bound, stats.candidates_tried);
+  }
+
+  // Identity 5: workers cannot claim more roots than exist.
+  if (stats.root_candidates != 0 &&
+      stats.TotalRootsClaimed() > stats.root_candidates) {
+    return Violation("claimed roots exceed root candidates",
+                     stats.TotalRootsClaimed(), stats.root_candidates);
+  }
+
+  return "";
+}
+
+std::string FormatStats(const MatchStats& stats) {
+  std::ostringstream os;
+  if (!kStatsEnabled) {
+    os << "stats: compiled out (CFL_STATS=OFF)\n";
+    return os.str();
+  }
+  if (!stats.recorded) {
+    os << "stats: not recorded by this engine\n";
+    return os.str();
+  }
+
+  auto ms = [](double s) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", s * 1e3);
+    return std::string(buf);
+  };
+
+  os << "phases (ms): decompose=" << ms(stats.decompose_seconds)
+     << " cpi_top_down=" << ms(stats.cpi_top_down_seconds)
+     << " cpi_bottom_up=" << ms(stats.cpi_bottom_up_seconds)
+     << " cpi_adjacency=" << ms(stats.cpi_adjacency_seconds)
+     << " order=" << ms(stats.order_seconds)
+     << " enumerate=" << ms(stats.enumerate_seconds)
+     << " | sum=" << ms(stats.PhaseSecondsSum()) << "\n";
+  os << "cpi: candidates_generated=" << stats.cpi.TotalGenerated()
+     << " pruned=" << stats.cpi.TotalPruned()
+     << " candidate_entries=" << stats.cpi_candidate_entries
+     << " adjacency_entries=" << stats.cpi_adjacency_entries << "\n";
+  const EnumStats& e = stats.enumeration;
+  os << "enumerate: tried=" << stats.candidates_tried
+     << " bound=" << stats.candidates_bound
+     << " backward_probes=" << e.backward_probes
+     << " hub_probes=" << e.hub_probes
+     << " backward_rejects=" << e.backward_rejects
+     << " conflict_rejects=" << e.conflict_rejects << "\n";
+  os << "search: max_depth=" << e.max_depth
+     << " partials_discarded=" << e.partials_discarded
+     << " core_visits=" << e.core_visits << " leaf_calls=" << e.leaf_calls
+     << " leaf_products=" << e.leaf_products
+     << " leaf_ms_est=" << ms(stats.LeafSecondsEstimate()) << "\n";
+  os << "run: embeddings=" << stats.embeddings_found
+     << " threads=" << stats.threads
+     << " root_candidates=" << stats.root_candidates << " roots_claimed=[";
+  for (size_t i = 0; i < stats.worker_roots_claimed.size(); ++i) {
+    if (i != 0) os << ",";
+    os << stats.worker_roots_claimed[i];
+  }
+  os << "]\n";
+  return os.str();
+}
+
+void StatsTotals::Add(const MatchStats& stats) {
+  if (!stats.recorded) return;
+  candidates_generated += stats.cpi.TotalGenerated();
+  candidates_pruned += stats.cpi.TotalPruned();
+  cpi_candidate_entries += stats.cpi_candidate_entries;
+  cpi_adjacency_entries += stats.cpi_adjacency_entries;
+  backward_probes += stats.enumeration.backward_probes;
+  hub_probes += stats.enumeration.hub_probes;
+  partials_discarded += stats.enumeration.partials_discarded;
+  core_visits += stats.enumeration.core_visits;
+  leaf_calls += stats.enumeration.leaf_calls;
+}
+
+}  // namespace obs
+
+}  // namespace cfl

@@ -1,31 +1,19 @@
 #include "parallel/parallel_match.h"
 
 #include <atomic>
-#include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "match/enumerator.h"
 #include "match/leaf_match.h"
+#include "obs/clock.h"
 
 namespace cfl {
 
 namespace {
 
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double Lap() {
-    auto now = std::chrono::steady_clock::now();
-    double s = std::chrono::duration<double>(now - start_).count();
-    start_ = now;
-    return s;
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+using obs::WallTimer;
 
 // Saturating accumulate on the shared embedding budget: leaf-match products
 // can individually saturate at kNoLimit, so a plain fetch_add could wrap.
@@ -59,6 +47,7 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
   result.build_seconds = prepared.build_seconds;
   result.order_seconds = prepared.order_seconds;
   result.index_entries = cpi.SizeInEntries();
+  CFL_STATS_ONLY(result.stats = prepared.stats;)
 
   if (prepared.no_results || prepared.order.steps.empty()) {
     result.total_seconds = total_timer.Lap();
@@ -88,10 +77,15 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
   const Deadline shared_deadline(options.limits.time_limit_seconds);
   const LeafMatcher leaf_prototype(q, cpi, prepared.order.leaves);
 
-  // Per-worker effort counters, merged in worker order at the barrier.
+  // Per-worker effort counters and stats shards, merged in worker order at
+  // the barrier. Each worker writes only its own slot while the pool runs;
+  // the main thread reads them after the join, so no slot is ever contended
+  // (at worst adjacent slots share a cache line).
   const uint32_t workers = pool_.size();
   std::vector<uint64_t> tried(workers, 0);
   std::vector<uint64_t> bound(workers, 0);
+  CFL_STATS_ONLY(std::vector<EnumStats> shards(workers);
+                 std::vector<uint64_t> roots_claimed(workers, 0);)
 
   pool_.Run([&](uint32_t worker) {
     // Private mutable state: search stacks, leaf-match scratch, and the
@@ -106,8 +100,19 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
         count = ExpansionFactor(data, state.mapping);
       }
       if (leaf_matcher.HasLeaves()) {
-        count = SaturatingMul(count,
-                              leaf_matcher.CountEmbeddings(data, state));
+        // Sampled leaf timing, same scheme as the serial matcher (the
+        // per-worker shard keeps its own sampling cursor).
+        CFL_STATS_ONLY(++state.stats.leaf_calls;
+                       obs::TimePoint leaf_t0;
+                       const bool sample = state.stats.ShouldSampleLeaf();
+                       if (sample) leaf_t0 = obs::Now();)
+        const uint64_t leaf_count = leaf_matcher.CountEmbeddings(data, state);
+        CFL_STATS_ONLY(if (sample) {
+          ++state.stats.leaf_sampled_calls;
+          state.stats.leaf_sampled_seconds += obs::SecondsSince(leaf_t0);
+        } state.stats.leaf_products =
+              SaturatingAdd(state.stats.leaf_products, leaf_count);)
+        count = SaturatingMul(count, leaf_count);
       }
       uint64_t after = AtomicSaturatingAdd(total, count);
       if (after >= cap) {
@@ -120,6 +125,7 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
     while (!stop.load(std::memory_order_relaxed)) {
       const uint32_t r = next_root.fetch_add(1, std::memory_order_relaxed);
       if (r >= root_count) break;
+      CFL_STATS_ONLY(++roots_claimed[worker];)
       EnumerateStatus status = EnumeratePartial(
           data, cpi, steps, state, deadline, visit, r, r + 1);
       if (status == EnumerateStatus::kTimedOut) {
@@ -130,6 +136,7 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
     }
     tried[worker] = state.candidates_tried;
     bound[worker] = state.candidates_bound;
+    CFL_STATS_ONLY(shards[worker] = state.stats;)
   });
 
   result.embeddings = total.load(std::memory_order_relaxed);
@@ -140,6 +147,17 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
     result.candidates_bound += bound[w];
   }
   result.enumerate_seconds = phase_timer.Lap();
+  CFL_STATS_ONLY({
+    MatchStats& s = result.stats;
+    s.enumerate_seconds = result.enumerate_seconds;
+    for (const EnumStats& shard : shards) s.enumeration.Merge(shard);
+    s.candidates_tried = result.candidates_tried;
+    s.candidates_bound = result.candidates_bound;
+    s.embeddings_found = result.embeddings;
+    s.threads = workers;
+    s.root_candidates = root_count;
+    s.worker_roots_claimed = std::move(roots_claimed);
+  })
   result.total_seconds = total_timer.Lap();
   return result;
 }

@@ -5,6 +5,7 @@
 #include "cpi/cpi_builder.h"
 
 #include <algorithm>
+#include <numeric>
 #include <span>
 
 #include <gtest/gtest.h>
@@ -160,6 +161,68 @@ TEST_F(CpiFigure7Test, SizeBoundHolds) {
                    (g_.NumVertices() + 2 * g_.NumEdges());
   EXPECT_LE(cpi.SizeInEntries(), bound);
   EXPECT_GT(cpi.MemoryBytes(), 0u);
+}
+
+// ---- CpiBuildStats (src/obs/stats.h) ------------------------------------
+
+// The Figure 7 trace pins down the per-vertex accounting exactly: forward
+// generation sizes, the backward S-NTE prune of v9 from u1.C, and the
+// bottom-up prunes of v2/v7/v8 (Examples 5.1 / 5.2).
+TEST_F(CpiFigure7Test, BuildStatsMatchFigure7Trace) {
+  if (!obs::kStatsEnabled) GTEST_SKIP() << "stats compiled out";
+  CpiBuilder builder(g_);
+  CpiBuildStats stats;
+  builder.Build(q_, tree_, CpiStrategy::kRefined, &stats);
+  EXPECT_EQ(stats.generated,
+            (std::vector<uint64_t>{2, 4, 3, 2}));  // v9 still present in u1
+  EXPECT_EQ(stats.pruned_backward, (std::vector<uint64_t>{0, 1, 0, 0}));
+  EXPECT_EQ(stats.pruned_bottomup, (std::vector<uint64_t>{1, 1, 1, 0}));
+  EXPECT_EQ(stats.TotalGenerated(), 11u);
+  EXPECT_EQ(stats.TotalPruned(), 4u);
+}
+
+// generated[u] - pruned[u] == |C(u)| for every strategy; the naive strategy
+// prunes nothing; the phase timers are non-negative.
+TEST_F(CpiFigure7Test, BuildStatsReconcileAcrossStrategies) {
+  if (!obs::kStatsEnabled) GTEST_SKIP() << "stats compiled out";
+  for (CpiStrategy strategy :
+       {CpiStrategy::kNaive, CpiStrategy::kTopDown, CpiStrategy::kRefined}) {
+    CpiBuilder builder(g_);
+    CpiBuildStats stats;
+    Cpi cpi = builder.Build(q_, tree_, strategy, &stats);
+    ASSERT_EQ(stats.generated.size(), q_.NumVertices());
+    for (VertexId u = 0; u < q_.NumVertices(); ++u) {
+      EXPECT_EQ(stats.generated[u] - stats.pruned_backward[u] -
+                    stats.pruned_bottomup[u],
+                cpi.NumCandidates(u))
+          << "strategy " << int(strategy) << " u " << u;
+    }
+    if (strategy == CpiStrategy::kNaive) {
+      EXPECT_EQ(stats.TotalPruned(), 0u);
+    }
+    if (strategy != CpiStrategy::kRefined) {
+      EXPECT_EQ(std::accumulate(stats.pruned_bottomup.begin(),
+                                stats.pruned_bottomup.end(), uint64_t{0}),
+                0u);
+    }
+    EXPECT_GE(stats.top_down_seconds, 0.0);
+    EXPECT_GE(stats.bottom_up_seconds, 0.0);
+    EXPECT_GE(stats.adjacency_seconds, 0.0);
+  }
+}
+
+// Without a sink the builder records nothing and the build result is
+// unchanged (the stats pointer must not alter construction).
+TEST_F(CpiFigure7Test, BuildWithAndWithoutStatsSinkAgree) {
+  CpiBuilder with(g_), without(g_);
+  CpiBuildStats stats;
+  Cpi a = with.Build(q_, tree_, CpiStrategy::kRefined, &stats);
+  Cpi b = without.Build(q_, tree_, CpiStrategy::kRefined);
+  ASSERT_EQ(a.NumQueryVertices(), b.NumQueryVertices());
+  for (VertexId u = 0; u < q_.NumVertices(); ++u) {
+    EXPECT_EQ(ToVec(a.Candidates(u)), ToVec(b.Candidates(u))) << "u " << u;
+  }
+  EXPECT_EQ(a.SizeInEntries(), b.SizeInEntries());
 }
 
 // Soundness (Lemmas 5.2/5.3): every true embedding must survive in the CPI —

@@ -90,6 +90,13 @@ TEST(CflLintTest, ImmutableClassFiresOnMutatorAndMutable) {
   EXPECT_EQ(run.output.find("operator"), std::string::npos) << run.output;
 }
 
+TEST(CflLintTest, RawClockFiresOnTypeAndNowCall) {
+  LintRun run = RunLint(Fixture("bad_clock.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Both the time_point type use and the ::now() call mention steady_clock.
+  EXPECT_EQ(CountOccurrences(run.output, "[raw-clock]"), 2) << run.output;
+}
+
 TEST(CflLintTest, WellFormedAllowSuppresses) {
   LintRun run = RunLint(Fixture("good_allow.cc"));
   EXPECT_EQ(run.exit_code, 0) << run.output;
@@ -107,10 +114,11 @@ TEST(CflLintTest, AllBadFixturesTogetherReportEveryRule) {
                         Fixture("bad_mutex.h") + " " +
                         Fixture("bad_mutable.h") + " " +
                         Fixture("bad_allow.cc") + " " +
-                        Fixture("bad_immutable.h"));
+                        Fixture("bad_immutable.h") + " " +
+                        Fixture("bad_clock.cc"));
   EXPECT_EQ(run.exit_code, 1) << run.output;
   for (const char* rule : {"[raw-assert]", "[raw-mutex]", "[mutable-member]",
-                           "[bad-allow]", "[immutable-class]"}) {
+                           "[bad-allow]", "[immutable-class]", "[raw-clock]"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos)
         << "missing " << rule << " in:\n"
         << run.output;

@@ -40,6 +40,7 @@
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "match/engine.h"
+#include "obs/stats.h"
 #include "parallel/parallel_match.h"
 
 namespace cfl {
@@ -117,13 +118,71 @@ struct EngineCount {
   std::string engine;
   uint64_t count = 0;
   bool timed_out = false;
+  // Complete uncapped run: the engine exhausted the search space, so its
+  // order-independent stats are comparable across CFL-family engines.
+  bool complete = false;
+  MatchStats stats;
 };
 
 struct Verdict {
   std::vector<EngineCount> counts;
   bool timed_out = false;   // some engine hit the deadline; not comparable
   bool mismatch = false;
+  std::string stats_error;  // non-empty: a stats invariant/equivalence broke
 };
+
+bool IsCflFamily(const std::string& name) {
+  return name == "cfl" || name.rfind("cfl-par", 0) == 0;
+}
+
+// The per-engine invariants plus cross-engine stats equivalence: serial and
+// parallel CFL engines share Prepare and explore the same search space, so
+// on complete uncapped runs their order-independent counters must agree.
+void CheckStats(Verdict* v) {
+  if (!obs::kStatsEnabled) return;
+  const EngineCount* reference = nullptr;
+  for (const EngineCount& ec : v->counts) {
+    if (!ec.stats.recorded || !ec.complete || !IsCflFamily(ec.engine)) {
+      continue;
+    }
+    if (reference == nullptr) {
+      reference = &ec;
+      continue;
+    }
+    const EnumStats& a = reference->stats.enumeration;
+    const EnumStats& b = ec.stats.enumeration;
+    auto differs = [&](const char* what, uint64_t x, uint64_t y) {
+      v->stats_error = reference->engine + " vs " + ec.engine + ": " + what +
+                       " differ (" + std::to_string(x) + " vs " +
+                       std::to_string(y) + ")";
+      v->mismatch = true;
+    };
+    if (a.core_visits != b.core_visits) {
+      return differs("core_visits", a.core_visits, b.core_visits);
+    }
+    if (a.leaf_products != b.leaf_products) {
+      return differs("leaf_products", a.leaf_products, b.leaf_products);
+    }
+    if (a.leaf_calls != b.leaf_calls) {
+      return differs("leaf_calls", a.leaf_calls, b.leaf_calls);
+    }
+    if (reference->stats.candidates_tried != ec.stats.candidates_tried) {
+      return differs("candidates_tried", reference->stats.candidates_tried,
+                     ec.stats.candidates_tried);
+    }
+    if (reference->stats.root_candidates != ec.stats.root_candidates) {
+      return differs("root_candidates", reference->stats.root_candidates,
+                     ec.stats.root_candidates);
+    }
+    // Each root is claimed exactly once on a complete run, at any thread
+    // count (the shared cursor hands them out; nobody abandons one).
+    if (ec.stats.root_candidates != 0 &&
+        ec.stats.TotalRootsClaimed() != ec.stats.root_candidates) {
+      return differs("claimed roots vs root candidates",
+                     ec.stats.TotalRootsClaimed(), ec.stats.root_candidates);
+    }
+  }
+}
 
 // Runs every engine on (q, data); counts are clamped at the cap so pairs
 // where engines legitimately stop early still compare equal.
@@ -136,13 +195,23 @@ Verdict RunPair(const Options& opt, const Graph& data, const Graph& q,
   for (const std::string& name : opt.engines) {
     std::unique_ptr<SubgraphEngine> engine = MakeEngineByName(name, data);
     MatchResult r = engine->Run(q, limits);
+    // Per-engine stats invariants hold on every run, even partial ones.
+    std::string violation = obs::CheckStatsInvariants(r.stats, r.embeddings,
+                                                      r.total_seconds);
+    if (!violation.empty() && v.stats_error.empty()) {
+      v.stats_error = name + ": " + violation;
+      v.mismatch = true;
+    }
     EngineCount ec;
     ec.engine = name;
     ec.count = std::min(r.embeddings, opt.max_embeddings);
     ec.timed_out = r.timed_out;
+    ec.complete = !r.timed_out && !r.reached_limit;
+    ec.stats = r.stats;
     v.timed_out = v.timed_out || r.timed_out;
     v.counts.push_back(ec);
   }
+  if (!v.timed_out && v.stats_error.empty()) CheckStats(&v);
   if (opt.brute_force && !v.timed_out && data.NumVertices() <= 64 &&
       q.NumVertices() <= 8 && !data.HasMultiplicities()) {
     EngineCount ec;
@@ -373,6 +442,9 @@ int Run(const Options& opt) {
 
     std::cout << "MISMATCH at pair " << i << " (seed " << pair_seed
               << "):\n";
+    if (!verdict.stats_error.empty()) {
+      std::cout << "  stats check failed: " << verdict.stats_error << "\n";
+    }
     PrintCounts(verdict);
 
     EdgeList data_el = ToEdgeList(data);
@@ -388,6 +460,10 @@ int Run(const Options& opt) {
     PrintEdgeList("query", query_el);
     PrintEdgeList("data", data_el);
     std::cout << "  counts on the minimal pair:\n";
+    if (!min_verdict.stats_error.empty()) {
+      std::cout << "    stats check failed: " << min_verdict.stats_error
+                << "\n";
+    }
     PrintCounts(min_verdict);
     return 1;
   }
@@ -395,6 +471,7 @@ int Run(const Options& opt) {
   std::cout << "cfl_difftest: " << ran << " pairs compared across "
             << opt.engines.size() << " engines"
             << (opt.brute_force ? " (+brute-force on tiny pairs)" : "")
+            << (obs::kStatsEnabled ? " (stats invariants checked)" : "")
             << ", 0 mismatches";
   if (skipped_gen > 0) std::cout << "; " << skipped_gen << " pairs ungeneratable";
   if (skipped_timeout > 0) {

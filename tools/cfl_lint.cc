@@ -29,6 +29,10 @@
 //                    thread_annotations.h, <thread> outside src/parallel/,
 //                    <iostream> outside src/check/ (diagnostics go through
 //                    check.h or the harness).
+//   raw-clock        `steady_clock` outside src/obs/ and src/harness/ —
+//                    wall-clock reads go through the cfl::obs facade
+//                    (src/obs/clock.h) so every timer is reconcilable with
+//                    the MatchStats phase accounting.
 //   bad-allow        a malformed escape hatch: unknown rule id or missing
 //                    reason. Allow-comments must carry their justification.
 //
@@ -70,12 +74,13 @@ const char kMutableMember[] = "mutable-member";
 const char kImmutableClass[] = "immutable-class";
 const char kConstCast[] = "const-cast";
 const char kBannedInclude[] = "banned-include";
+const char kRawClock[] = "raw-clock";
 const char kBadAllow[] = "bad-allow";
 
 const std::set<std::string>& KnownRules() {
   static const std::set<std::string> rules = {
       kRawAssert,    kRawMutex,  kMutableMember, kImmutableClass,
-      kConstCast,    kBannedInclude, kBadAllow};
+      kConstCast,    kBannedInclude, kRawClock,  kBadAllow};
   return rules;
 }
 
@@ -714,6 +719,10 @@ void LintFile(const std::string& display_path, const fs::path& file,
   const bool is_annotations_header =
       PathEndsWith(f, "src/check/thread_annotations.h");
   const bool in_src = PathContains(f, "src/");
+  // The two sanctioned clock call sites: the stats layer's facade
+  // (obs/clock.h) and the pre-existing harness stopwatch.
+  const bool clock_exempt =
+      PathContains(f, "src/obs/") || PathContains(f, "src/harness/");
 
   static const std::vector<std::string> kMutexNames = {
       "mutex",           "recursive_mutex",
@@ -771,6 +780,15 @@ void LintFile(const std::string& display_path, const fs::path& file,
         diags.push_back({f.path, line_no, kConstCast,
                          "const_cast pierces the immutability contracts"});
       }
+    }
+
+    if (!clock_exempt && !FindWord(line, "steady_clock").empty() &&
+        !Allowed(f, kRawClock, line_no)) {
+      diags.push_back(
+          {f.path, line_no, kRawClock,
+           "raw steady_clock — wall-clock reads go through cfl::obs "
+           "(src/obs/clock.h) or the harness Stopwatch so phase accounting "
+           "stays reconcilable with MatchStats"});
     }
   }
 

@@ -11,6 +11,9 @@
 //   --max=N          stop after N embeddings (default: all)
 //   --time-limit=S   per-query wall limit in seconds (default: none)
 //   --print          print each embedding (CFL engines only)
+//   --stats          print the execution-stats block (phase timers, pruning
+//                    and search counters; see src/obs/stats.h). Requires a
+//                    CFL_STATS=ON build (the default).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +30,7 @@
 #include "graph/graph_stats.h"
 #include "match/cfl_match.h"
 #include "match/engine.h"
+#include "obs/stats.h"
 
 namespace {
 
@@ -52,7 +56,7 @@ std::unique_ptr<SubgraphEngine> MakeEngine(const std::string& name,
   std::fprintf(
       stderr,
       "usage: %s <data-file> <query-file> [--engine=NAME] [--max=N]\n"
-      "          [--time-limit=S] [--print]\n"
+      "          [--time-limit=S] [--print] [--stats]\n"
       "engines: cfl cf match cfl-td cfl-naive cfl-boost turboiso\n"
       "         turboiso-boost quicksi vf2 ullmann\n",
       argv0);
@@ -66,6 +70,7 @@ int main(int argc, char** argv) {
   std::string engine_name = "cfl";
   MatchLimits limits;
   bool print = false;
+  bool show_stats = false;
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--engine=", 0) == 0) {
@@ -76,6 +81,8 @@ int main(int argc, char** argv) {
       limits.time_limit_seconds = std::atof(arg.c_str() + 13);
     } else if (arg == "--print") {
       print = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
     } else {
       Usage(argv[0]);
     }
@@ -121,5 +128,15 @@ int main(int argc, char** argv) {
       result.reached_limit ? "+" : "", result.total_seconds * 1e3,
       result.OrderingSeconds() * 1e3, result.enumerate_seconds * 1e3,
       result.timed_out ? "  [TIMED OUT]" : "");
+  if (show_stats) {
+    std::printf("%s", obs::FormatStats(result.stats).c_str());
+    std::string violation = obs::CheckStatsInvariants(
+        result.stats, result.embeddings, result.total_seconds);
+    if (!violation.empty()) {
+      std::fprintf(stderr, "stats invariant violated: %s\n",
+                   violation.c_str());
+      return 4;
+    }
+  }
   return result.timed_out ? 3 : 0;
 }
