@@ -1,0 +1,41 @@
+// Checked integer narrowing for the index hot paths.
+//
+// The CPI arenas and offset tables are 64-bit, but the enumeration cursors
+// and candidate positions are deliberately 32-bit (half the cache traffic
+// on the descent). Every 64→32 crossing is therefore a potential silent
+// truncation — exactly the latent bug class the CheckedCandidateCount fix
+// in the parallel-enumeration PR closed. This header is the single
+// sanctioned crossing point:
+//
+//   uint32_t n = CheckedU32(cand_.size());
+//
+// CFL_DCHECK-guarded: debug/sanitizer builds fail loudly with the value;
+// release builds compile to the bare cast. tools/cfl_analyze rule
+// `narrowing` flags any `static_cast<uint32_t>` of a size/offset expression
+// in src/cpi, src/match, or src/parallel that bypasses these helpers, so
+// new crossings cannot creep in unchecked.
+//
+// Header-only and dependency-light (check.h only) so the bottom-most
+// libraries can use it without a link dependency.
+
+#ifndef CFL_CHECK_NARROW_H_
+#define CFL_CHECK_NARROW_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "check/check.h"
+
+namespace cfl {
+
+// Narrows a size/offset to the 32-bit cursor domain, failing loudly (under
+// CFL_DCHECK) on values that do not fit instead of wrapping.
+inline uint32_t CheckedU32(uint64_t value) {
+  CFL_DCHECK_LE(value, std::numeric_limits<uint32_t>::max())
+      << " — 64-bit index does not fit the uint32 cursor domain";
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace cfl
+
+#endif  // CFL_CHECK_NARROW_H_

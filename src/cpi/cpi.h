@@ -44,6 +44,7 @@
 #include <span>
 #include <vector>
 
+#include "check/narrow.h"
 #include "check/thread_annotations.h"
 #include "decomp/bfs_tree.h"
 #include "graph/graph.h"
@@ -66,7 +67,7 @@ class Cpi {
   }
 
   uint32_t NumCandidates(VertexId u) const {
-    return static_cast<uint32_t>(cand_offsets_[u + 1] - cand_offsets_[u]);
+    return CheckedU32(cand_offsets_[u + 1] - cand_offsets_[u]);
   }
 
   // Data vertex at `pos` within u.C.
@@ -109,9 +110,7 @@ class Cpi {
   // --- Introspection (validators and tests; not used by enumeration) -----
 
   uint32_t NumQueryVertices() const {
-    return cand_offsets_.empty()
-               ? 0
-               : static_cast<uint32_t>(cand_offsets_.size() - 1);
+    return cand_offsets_.empty() ? 0 : CheckedU32(cand_offsets_.size() - 1);
   }
 
   // Raw per-vertex adjacency storage: `AdjacencyOffsets(u)` has one entry

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/check.h"
+#include "check/narrow.h"
 #include "cpi/candidate_filter.h"
 #include "obs/clock.h"
 
@@ -141,7 +142,7 @@ void CpiBuilder::BottomUpRefine(const Graph& q, const BfsTree& tree) {
 }
 
 void CpiBuilder::BuildAdjacency(const BfsTree& tree, Cpi* cpi) {
-  const uint32_t n = static_cast<uint32_t>(cand_.size());
+  const uint32_t n = CheckedU32(cand_.size());
 
   // Arena layout: vertices in ascending id order so the start tables are
   // monotone; each non-root u contributes |u.p.C|+1 relative offsets and
@@ -181,7 +182,7 @@ void CpiBuilder::BuildAdjacency(const BfsTree& tree, Cpi* cpi) {
           }
         }
         cpi->adj_off_arena_.push_back(
-            static_cast<uint32_t>(cpi->adj_entry_arena_.size() - entry_base));
+            CheckedU32(cpi->adj_entry_arena_.size() - entry_base));
       }
 
       for (VertexId v : child_cands) pos_[v] = 0;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "check/check.h"
+#include "check/narrow.h"
 #include "cpi/cpi.h"
 #include "graph/graph.h"
 #include "match/embedding.h"
@@ -33,9 +34,7 @@ namespace cfl {
 // candidate set is far beyond anything the CPI can hold today, but the
 // enumerator must not be the place that quietly caps it).
 inline uint32_t CheckedCandidateCount(size_t size) {
-  CFL_DCHECK_LE(size, std::numeric_limits<uint32_t>::max())
-      << " — candidate/adjacency list exceeds uint32 cursor range";
-  return static_cast<uint32_t>(size);
+  return CheckedU32(size);
 }
 
 enum class EnumerateStatus {

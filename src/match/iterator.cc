@@ -1,6 +1,7 @@
 #include "match/iterator.h"
 
 #include "check/check.h"
+#include "check/narrow.h"
 #include "cpi/candidate_filter.h"
 #include "cpi/cpi_builder.h"
 #include "cpi/root_select.h"
@@ -59,10 +60,10 @@ bool StepEnumerator::Next() {
     std::span<const uint32_t> adjacent;
     uint32_t limit;
     if (is_root) {
-      limit = static_cast<uint32_t>(cpi_.Candidates(step.u).size());
+      limit = CheckedCandidateCount(cpi_.Candidates(step.u).size());
     } else {
       adjacent = cpi_.AdjacentPositions(step.u, state_->position[step.parent]);
-      limit = static_cast<uint32_t>(adjacent.size());
+      limit = CheckedCandidateCount(adjacent.size());
     }
 
     bool bound_here = false;
@@ -205,7 +206,7 @@ struct EmbeddingIterator::Pipeline {
   Pipeline(const Graph& data, Cpi built_cpi, MatchingOrder built_order)
       : cpi(std::move(built_cpi)),
         order(std::move(built_order)),
-        state(static_cast<uint32_t>(cpi.tree().parent.size()),
+        state(CheckedU32(cpi.tree().parent.size()),
               data.NumVertices()),
         steps(data, cpi, order.steps, &state),
         leaves(data, cpi, order.leaves, &state) {}

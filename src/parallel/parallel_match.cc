@@ -18,7 +18,8 @@ using obs::WallTimer;
 // Saturating accumulate on the shared embedding budget: leaf-match products
 // can individually saturate at kNoLimit, so a plain fetch_add could wrap.
 // Returns the post-add value.
-uint64_t AtomicSaturatingAdd(std::atomic<uint64_t>& total, uint64_t delta) {
+uint64_t AtomicSaturatingAdd(std::atomic<uint64_t>& total,
+                             uint64_t delta) noexcept {
   uint64_t current = total.load(std::memory_order_relaxed);
   uint64_t next;
   do {
@@ -81,6 +82,7 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
   // the barrier. Each worker writes only its own slot while the pool runs;
   // the main thread reads them after the join, so no slot is ever contended
   // (at worst adjacent slots share a cache line).
+  // cfl-lint: allow(narrowing) ThreadPool::size() is already uint32_t
   const uint32_t workers = pool_.size();
   std::vector<uint64_t> tried(workers, 0);
   std::vector<uint64_t> bound(workers, 0);

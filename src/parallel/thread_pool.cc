@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::InvokeBody(const std::function<void(uint32_t)>& body,
-                            uint32_t worker_id) {
+                            uint32_t worker_id) noexcept {
   // Fail fast with the message instead of letting the exception escape the
   // worker thread (std::terminate with no context) or, worse, unwind past
   // the pending_ decrement and strand Run on the join barrier.
@@ -55,7 +55,7 @@ void ThreadPool::Run(const std::function<void(uint32_t)>& body) {
   body_ = nullptr;
 }
 
-void ThreadPool::WorkerLoop(uint32_t worker_id) {
+void ThreadPool::WorkerLoop(uint32_t worker_id) noexcept {
   uint64_t seen_generation = 0;
   while (true) {
     const std::function<void(uint32_t)>* body = nullptr;

@@ -53,12 +53,16 @@ class ThreadPool {
   void Run(const std::function<void(uint32_t)>& body) CFL_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(uint32_t worker_id) CFL_EXCLUDES(mu_);
+  // noexcept: runs on the worker thread outside the InvokeBody boundary,
+  // where an escaped exception is an immediate std::terminate with no
+  // context (enforced by cfl_analyze rule worker-noexcept).
+  void WorkerLoop(uint32_t worker_id) noexcept CFL_EXCLUDES(mu_);
 
   // The worker boundary: invokes `body(worker_id)` and converts any escaped
-  // exception into a fail-fast CFL_CHECK carrying the message.
+  // exception into a fail-fast CFL_CHECK carrying the message. noexcept
+  // because the conversion itself must not throw.
   static void InvokeBody(const std::function<void(uint32_t)>& body,
-                         uint32_t worker_id);
+                         uint32_t worker_id) noexcept;
 
   const uint32_t size_;
 

@@ -1,0 +1,12 @@
+// Fixture: the escape hatch — a documented allow suppresses narrowing.
+#include <cstdint>
+#include <vector>
+
+namespace fix {
+
+uint32_t Bounded(const std::vector<int>& v) {
+  // cfl-lint: allow(narrowing) fixture: size bounded by construction
+  return static_cast<uint32_t>(v.size());
+}
+
+}  // namespace fix

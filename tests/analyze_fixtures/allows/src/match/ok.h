@@ -1,0 +1,17 @@
+// Fixture: the escape hatch — a documented allow suppresses span-escape.
+#ifndef FIX_ALLOWS_OK_H_
+#define FIX_ALLOWS_OK_H_
+
+#include <span>
+
+namespace fix {
+
+class Holder {
+ private:
+  // cfl-lint: allow(span-escape) fixture: view never outlives the frame
+  std::span<int> scratch_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_ALLOWS_OK_H_

@@ -1,0 +1,7 @@
+// Fixture VIOLATION: an allow naming a rule neither tool knows.
+namespace fix {
+
+// cfl-lint: allow(no-such-rule) this rule id does not exist
+int kValue = 1;
+
+}  // namespace fix

@@ -1,0 +1,11 @@
+// Fixture: dependency-free base module. The analyzer only lexes fixture
+// trees (they are never compiled), so the macros need no real expansion.
+#ifndef FIX_CHECK_CHECK_H_
+#define FIX_CHECK_CHECK_H_
+
+#define CFL_IMMUTABLE_AFTER_BUILD(cls)
+#define CFL_SPAN_INTO(owner)
+#define CFL_POOL_SAFE
+#define CFL_STATS_ONLY(...)
+
+#endif  // FIX_CHECK_CHECK_H_

@@ -1,0 +1,36 @@
+// Fixture: a frozen index (valid CFL_SPAN_INTO target) and a mutable
+// scratch structure (an invalid one — mutation self-test seed 4 retargets
+// an annotation at it).
+#ifndef FIX_CPI_CPI_H_
+#define FIX_CPI_CPI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "check/check.h"
+#include "cpi/util.h"
+#include "graph/graph.h"
+
+namespace fix {
+
+class Cpi {
+ public:
+  CFL_IMMUTABLE_AFTER_BUILD(Cpi);
+
+  uint32_t NumCandidates() const { return CheckedU32(cand_.size()); }
+
+ private:
+  std::vector<uint32_t> cand_;
+};
+
+class Scratch {
+ public:
+  void Reset() { buf_.clear(); }
+
+ private:
+  std::vector<uint32_t> buf_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_CPI_CPI_H_

@@ -1,0 +1,27 @@
+// Fixture: sanctioned narrowing helpers (mutation self-test seeds 5 and 6
+// strip the CheckedU32 routing here).
+#ifndef FIX_CPI_UTIL_H_
+#define FIX_CPI_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "check/check.h"
+
+namespace fix {
+
+inline uint32_t CheckedU32(uint64_t v) { return static_cast<uint32_t>(v); }
+
+inline uint32_t CandidateCount(const std::vector<uint32_t>& v) {
+  const uint32_t n = CheckedU32(v.size());
+  return n;
+}
+
+inline uint32_t TotalCount(const std::vector<uint32_t>& w) {
+  uint32_t m = CheckedU32(w.size());
+  return m;
+}
+
+}  // namespace fix
+
+#endif  // FIX_CPI_UTIL_H_

@@ -1,0 +1,30 @@
+// Fixture: an immutable-after-build structure. False-positive regression
+// for span-escape — views into a frozen arena are fine, both as members and
+// as method returns.
+#ifndef FIX_GRAPH_GRAPH_H_
+#define FIX_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "check/check.h"
+
+namespace fix {
+
+class Graph {
+ public:
+  CFL_IMMUTABLE_AFTER_BUILD(Graph);
+
+  std::span<const uint32_t> Neighbors() const {
+    return {edges_.data(), edges_.size()};
+  }
+
+ private:
+  std::vector<uint32_t> edges_;
+  std::span<const uint32_t> cached_;  // fine: the owner is frozen
+};
+
+}  // namespace fix
+
+#endif  // FIX_GRAPH_GRAPH_H_

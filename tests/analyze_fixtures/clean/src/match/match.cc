@@ -1,0 +1,15 @@
+// Fixture: properly gated stats mutations (mutation self-test seeds 9 and
+// 10 unwrap these).
+#include "match/match.h"
+
+#include "obs/stats.h"
+
+namespace fix {
+
+void Enumerator::Bind(uint32_t v) {
+  buf_.push_back(v);
+  CFL_STATS_ONLY(stats_.probes += 1;)
+  CFL_STATS_ONLY(stats_.generated.push_back(v);)
+}
+
+}  // namespace fix

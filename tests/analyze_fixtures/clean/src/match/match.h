@@ -1,0 +1,31 @@
+// Fixture: the enumeration layer. The annotated view member is clean (Cpi
+// is frozen); the vector member and the string_view accessor are the
+// false-positive regressions for span-escape.
+#ifndef FIX_MATCH_MATCH_H_
+#define FIX_MATCH_MATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cpi/cpi.h"
+#include "obs/stats.h"
+
+namespace fix {
+
+class Enumerator {
+ public:
+  std::string_view name() const { return "fixture"; }
+
+  void Bind(uint32_t v);
+
+ private:
+  CFL_SPAN_INTO(Cpi) std::span<const uint32_t> candidates_;
+  std::vector<uint32_t> buf_;
+  EnumStats stats_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_MATCH_MATCH_H_

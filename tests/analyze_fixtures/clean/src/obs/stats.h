@@ -1,0 +1,24 @@
+// Fixture stats structs — the analyzer reads the counter field lists for
+// the stats-gate rule from EnumStats / CpiBuildStats under src/obs/.
+#ifndef FIX_OBS_STATS_H_
+#define FIX_OBS_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fix {
+
+struct EnumStats {
+  uint64_t probes = 0;
+  std::vector<uint64_t> generated;
+
+  uint64_t TotalProbes() const { return probes; }
+};
+
+struct CpiBuildStats {
+  uint64_t pruned = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_OBS_STATS_H_

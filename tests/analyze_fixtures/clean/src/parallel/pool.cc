@@ -1,0 +1,40 @@
+// Fixture: a clean worker boundary — the body is invoked only inside
+// InvokeBody, the out-of-boundary functions are noexcept, and everything a
+// Run lambda calls is noexcept or CFL_POOL_SAFE. Mutation self-test seeds
+// 7 and 8 break these properties.
+#include "parallel/pool.h"
+
+#include "check/check.h"
+
+namespace fix {
+
+namespace {
+
+uint64_t Accumulate(uint64_t a, uint64_t b) noexcept { return a + b; }
+
+uint64_t Allocating(uint64_t n) CFL_POOL_SAFE { return n * 2; }
+
+}  // namespace
+
+void ThreadPool::InvokeBody(const std::function<void(uint32_t)>& body,
+                            uint32_t worker_id) noexcept {
+  body(worker_id);
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker_id) noexcept {
+  InvokeBody(*body_, worker_id);
+}
+
+void ThreadPool::Run(const std::function<void(uint32_t)>& body) {
+  body_ = &body;
+  WorkerLoop(0);
+}
+
+void Drive(ThreadPool& pool) {
+  pool.Run([&](uint32_t w) {
+    uint64_t total = Accumulate(w, 1);
+    total = Allocating(total);
+  });
+}
+
+}  // namespace fix

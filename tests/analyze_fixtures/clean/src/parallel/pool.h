@@ -1,0 +1,32 @@
+// Fixture: the worker-pool surface mirrored from src/parallel/thread_pool.h.
+#ifndef FIX_PARALLEL_POOL_H_
+#define FIX_PARALLEL_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "match/match.h"
+
+namespace fix {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t threads);
+
+  uint32_t size() const { return size_; }
+
+  void Run(const std::function<void(uint32_t)>& body);
+
+ private:
+  void WorkerLoop(uint32_t worker_id) noexcept;
+
+  static void InvokeBody(const std::function<void(uint32_t)>& body,
+                         uint32_t worker_id) noexcept;
+
+  const std::function<void(uint32_t)>* body_ = nullptr;
+  uint32_t size_ = 1;
+};
+
+}  // namespace fix
+
+#endif  // FIX_PARALLEL_POOL_H_

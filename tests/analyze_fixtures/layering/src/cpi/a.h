@@ -1,0 +1,12 @@
+// Fixture VIOLATION (with b.h): a within-module include cycle, which the
+// module DAG cannot see — only the file-level cycle check catches it.
+#ifndef FIX_LAYERING_CPI_A_H_
+#define FIX_LAYERING_CPI_A_H_
+
+#include "cpi/b.h"
+
+namespace fix {
+class A {};
+}  // namespace fix
+
+#endif  // FIX_LAYERING_CPI_A_H_

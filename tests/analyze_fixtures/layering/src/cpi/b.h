@@ -1,0 +1,11 @@
+// Fixture VIOLATION (with a.h): the other half of the include cycle.
+#ifndef FIX_LAYERING_CPI_B_H_
+#define FIX_LAYERING_CPI_B_H_
+
+#include "cpi/a.h"
+
+namespace fix {
+class B {};
+}  // namespace fix
+
+#endif  // FIX_LAYERING_CPI_B_H_

@@ -1,0 +1,11 @@
+// Fixture VIOLATION: graph reaches up into match — a layering back-edge.
+#ifndef FIX_LAYERING_GRAPH_H_
+#define FIX_LAYERING_GRAPH_H_
+
+#include "match/match.h"
+
+namespace fix {
+class Graph {};
+}  // namespace fix
+
+#endif  // FIX_LAYERING_GRAPH_H_

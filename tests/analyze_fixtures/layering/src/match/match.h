@@ -1,0 +1,9 @@
+// Fixture: top-layer module (no includes).
+#ifndef FIX_LAYERING_MATCH_H_
+#define FIX_LAYERING_MATCH_H_
+
+namespace fix {
+class Matcher {};
+}  // namespace fix
+
+#endif  // FIX_LAYERING_MATCH_H_

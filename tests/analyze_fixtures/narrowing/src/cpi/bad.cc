@@ -1,0 +1,18 @@
+// Fixture VIOLATIONS: both narrowing shapes — an unchecked
+// static_cast<uint32_t> of a size expression and an implicit 32-bit
+// initialization from .size().
+#include <cstdint>
+#include <vector>
+
+namespace fix {
+
+uint32_t CastNarrow(const std::vector<int>& v) {
+  return static_cast<uint32_t>(v.size());
+}
+
+uint32_t ImplicitNarrow(const std::vector<int>& v) {
+  uint32_t n = v.size();
+  return n;
+}
+
+}  // namespace fix

@@ -1,0 +1,35 @@
+// Fixture VIOLATIONS: both worker-noexcept shapes — the pool invoking the
+// run body directly (outside InvokeBody), and a Run lambda calling a
+// src/parallel function that is neither noexcept nor CFL_POOL_SAFE.
+#include <cstdint>
+#include <functional>
+
+namespace fix {
+
+class ThreadPool {
+ public:
+  void Run(const std::function<void(uint32_t)>& body);
+
+ private:
+  static void InvokeBody(const std::function<void(uint32_t)>& body,
+                         uint32_t worker_id) noexcept;
+
+  const std::function<void(uint32_t)>* body_ = nullptr;
+};
+
+void ThreadPool::InvokeBody(const std::function<void(uint32_t)>& body,
+                            uint32_t worker_id) noexcept {
+  body(worker_id);
+}
+
+void ThreadPool::Run(const std::function<void(uint32_t)>& body) {
+  body(0);
+}
+
+uint64_t Helper(uint64_t v) { return v + 1; }
+
+void Drive(ThreadPool& pool) {
+  pool.Run([&](uint32_t w) { Helper(w); });
+}
+
+}  // namespace fix

@@ -1,0 +1,29 @@
+// Fixture VIOLATIONS: all three span-escape shapes — a bare view member, a
+// view-returning method of a mutable class, and a CFL_SPAN_INTO annotation
+// whose target is not frozen anywhere in the program.
+#ifndef FIX_SPAN_BAD_H_
+#define FIX_SPAN_BAD_H_
+
+#include <span>
+
+#define CFL_SPAN_INTO(owner)
+
+namespace fix {
+
+class Mutable {
+ public:
+  void Clear();
+};
+
+class Holder {
+ public:
+  std::span<const int> View() const { return scratch_; }
+
+ private:
+  std::span<const int> scratch_;
+  CFL_SPAN_INTO(Mutable) std::span<int> annotated_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_SPAN_BAD_H_

@@ -1,0 +1,14 @@
+// Fixture VIOLATIONS: ungated stats-counter mutations (increment and
+// assignment) — both would survive -DCFL_STATS=OFF.
+#include <cstdint>
+
+#include "obs/stats.h"
+
+namespace fix {
+
+void Record(EnumStats& stats, CpiBuildStats& build) {
+  stats.probes += 1;
+  build.pruned = 0;
+}
+
+}  // namespace fix

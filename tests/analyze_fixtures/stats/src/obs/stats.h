@@ -1,0 +1,19 @@
+// Fixture: the field lists the stats-gate rule indexes.
+#ifndef FIX_STATS_OBS_STATS_H_
+#define FIX_STATS_OBS_STATS_H_
+
+#include <cstdint>
+
+namespace fix {
+
+struct EnumStats {
+  uint64_t probes = 0;
+};
+
+struct CpiBuildStats {
+  uint64_t pruned = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_STATS_OBS_STATS_H_

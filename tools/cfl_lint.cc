@@ -1,4 +1,4 @@
-// cfl_lint: the project-rule linter for the CFL-Match tree.
+// cfl_lint: the single-file project-rule linter for the CFL-Match tree.
 //
 // A deliberately self-contained token-level linter (no libclang, no
 // compilation database — it runs anywhere the tree checks out) that walks
@@ -6,7 +6,11 @@
 // depend on. clang-tidy and Clang Thread Safety Analysis check what the
 // compiler can see; cfl_lint checks the *project* conventions that make
 // those analyses sound in the first place — e.g. TSA is useless against a
-// raw std::mutex member it has no annotations for.
+// raw std::mutex member it has no annotations for. Whole-program rules that
+// need every translation unit at once (module layering, span lifetimes,
+// narrowing, worker-boundary noexcept, stats gating) live in the sibling
+// tools/cfl_analyze.cc; the lexer and diagnostic model are shared
+// (tools/lint_common.h).
 //
 // Rules (ids are what allow-comments and diagnostics use):
 //   raw-assert       `assert(` outside src/check/ — use CFL_DCHECK, which
@@ -39,540 +43,69 @@
 // Escape hatch: `// cfl-lint: allow(<rule>) <reason>` on the offending line
 // or the line directly above suppresses that one rule there. The reason is
 // mandatory; an unknown rule or empty reason is itself an error, so stale
-// or hand-waving suppressions cannot accumulate.
+// or hand-waving suppressions cannot accumulate. (Allow-comments for
+// cfl_analyze's rule ids are recognized and left to that tool.)
 //
 // Exit codes: 0 clean, 1 violations found, 2 usage/IO error — CI gates on
 // this (the `lint` job and the `cfl_lint_tree` ctest).
 //
 // Usage:
-//   cfl_lint [--root DIR] [FILE...]
+//   cfl_lint [--root DIR] [--json] [FILE...]
 // With no FILEs, lints every .h/.cc/.cpp under DIR/{src,bench,tools}
-// (DIR defaults to the current directory).
+// (DIR defaults to the current directory). --json emits the diagnostics as
+// one JSON document on stdout instead of gcc-style lines.
 
 #include <algorithm>
-#include <cctype>
 #include <cstdint>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lint_common.h"
+
 namespace {
 
 namespace fs = std::filesystem;
+using cfl::lint::Allowed;
+using cfl::lint::ClassInfo;
+using cfl::lint::Diagnostic;
+using cfl::lint::FindClasses;
+using cfl::lint::FindStdMember;
+using cfl::lint::FindWord;
+using cfl::lint::IsIdentChar;
+using cfl::lint::kMarker;
+using cfl::lint::PathContains;
+using cfl::lint::PathEndsWith;
+using cfl::lint::SkipGroup;
+using cfl::lint::SourceFile;
+using cfl::lint::Token;
+using cfl::lint::Tokenize;
 
-// ---- rule ids -----------------------------------------------------------
-
-const char kRawAssert[] = "raw-assert";
-const char kRawMutex[] = "raw-mutex";
-const char kMutableMember[] = "mutable-member";
-const char kImmutableClass[] = "immutable-class";
-const char kConstCast[] = "const-cast";
-const char kBannedInclude[] = "banned-include";
-const char kRawClock[] = "raw-clock";
-const char kBadAllow[] = "bad-allow";
-
-const std::set<std::string>& KnownRules() {
-  static const std::set<std::string> rules = {
-      kRawAssert,    kRawMutex,  kMutableMember, kImmutableClass,
-      kConstCast,    kBannedInclude, kRawClock,  kBadAllow};
-  return rules;
-}
-
-const char kMarker[] = "CFL_IMMUTABLE_AFTER_BUILD";
-
-// ---- diagnostics --------------------------------------------------------
-
-struct Diagnostic {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// ---- source model -------------------------------------------------------
-
-// One allow-comment, parsed from the raw text.
-struct Allow {
-  int line = 0;
-  std::string rule;
-  bool well_formed = false;
-  std::string problem;  // set when !well_formed
-};
-
-struct SourceFile {
-  std::string path;            // as reported in diagnostics
-  std::string generic_path;    // forward slashes, for rule scoping
-  std::vector<std::string> raw_lines;      // 1-based via index-1
-  std::vector<std::string> code_lines;     // comments/strings blanked
-  std::vector<bool> preproc;               // per line: part of a # directive
-  std::vector<Allow> allows;
-};
-
-bool PathContains(const SourceFile& f, std::string_view fragment) {
-  return f.generic_path.find(fragment) != std::string::npos;
-}
-
-bool PathEndsWith(const SourceFile& f, std::string_view suffix) {
-  const std::string& p = f.generic_path;
-  return p.size() >= suffix.size() &&
-         p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-// Strips comments, string/char literals (incl. raw strings), and
-// preprocessor directives out of the text, preserving the line structure so
-// every token keeps its original line number. Comment/string bodies become
-// spaces; preprocessor lines are recorded in `preproc` and blanked from the
-// code view (the include rule reads the raw lines instead).
-void StripSource(SourceFile& f, const std::string& text) {
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  std::string code;
-  code.reserve(text.size());
-  State state = State::kCode;
-  std::string raw_delim;         // for kRawString: ")delim"
-  bool line_has_code = false;    // any non-ws emitted on this line
-  bool line_is_preproc = false;  // first non-ws char was '#'
-  bool continuation = false;     // previous line ended with backslash
-  std::vector<bool> preproc_lines;
-
-  auto end_line = [&]() {
-    preproc_lines.push_back(line_is_preproc);
-    // The '\n' is already in `code`; a backslash right before it continues
-    // the directive onto the next line.
-    size_t n = code.size();
-    bool backslash =
-        n >= 2 && code[n - 1] == '\n' && code[n - 2] == '\\';
-    continuation = line_is_preproc && backslash;
-    line_is_preproc = continuation;
-    line_has_code = false;
-  };
-
-  for (size_t i = 0; i < text.size(); ++i) {
-    char c = text[i];
-    char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      code.push_back('\n');
-      end_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode: {
-        if (!line_has_code && !line_is_preproc) {
-          if (c == '#') line_is_preproc = true;
-          if (!std::isspace(static_cast<unsigned char>(c)))
-            line_has_code = true;
-        }
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code.append("  ");
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code.append("  ");
-          ++i;
-        } else if (c == '"') {
-          // Raw string? The quote must directly follow an R whose own left
-          // neighbor is not an identifier character (allowing u8R/uR/LR
-          // prefixes, whose trailing char is still 'R').
-          size_t j = code.size();
-          bool raw = j > 0 && code[j - 1] == 'R' &&
-                     (j < 2 ||
-                      !std::isalnum(static_cast<unsigned char>(code[j - 2])) ||
-                      code[j - 2] == '8' || code[j - 2] == 'u' ||
-                      code[j - 2] == 'U' || code[j - 2] == 'L');
-          if (raw && j >= 2 && IsIdentChar(code[j - 2]) &&
-              !(code[j - 2] == '8' || code[j - 2] == 'u' ||
-                code[j - 2] == 'U' || code[j - 2] == 'L')) {
-            raw = false;  // identifier merely ending in R
-          }
-          if (raw) {
-            state = State::kRawString;
-            raw_delim = ")";
-            code.push_back('"');  // for the opening quote itself
-            size_t k = i + 1;
-            while (k < text.size() && text[k] != '(' &&
-                   raw_delim.size() < 18) {
-              raw_delim.push_back(text[k]);
-              code.push_back(' ');
-              ++k;
-            }
-            raw_delim.push_back('"');
-            i = k;  // at '(' (or bail; malformed raw strings end at EOF)
-            code.push_back(' ');
-          } else {
-            state = State::kString;
-            code.push_back('"');
-          }
-        } else if (c == '\'') {
-          state = State::kChar;
-          code.push_back('\'');
-        } else {
-          code.push_back(c);
-        }
-        break;
-      }
-      case State::kLineComment:
-        code.push_back(' ');
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          code.append("  ");
-          ++i;
-        } else {
-          code.push_back(' ');
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0' && next != '\n') {
-          code.append("  ");
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          code.push_back('"');
-        } else {
-          code.push_back(' ');
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0' && next != '\n') {
-          code.append("  ");
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          code.push_back('\'');
-        } else {
-          code.push_back(' ');
-        }
-        break;
-      case State::kRawString:
-        if (c == ')' &&
-            text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (size_t k = 1; k < raw_delim.size(); ++k) code.push_back(' ');
-          code.push_back('"');
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else {
-          code.push_back(' ');
-        }
-        break;
-    }
-  }
-  end_line();
-
-  // Split both views into lines.
-  auto split = [](const std::string& s) {
-    std::vector<std::string> lines;
-    std::string cur;
-    for (char c : s) {
-      if (c == '\n') {
-        lines.push_back(cur);
-        cur.clear();
-      } else {
-        cur.push_back(c);
-      }
-    }
-    lines.push_back(cur);
-    return lines;
-  };
-  f.raw_lines = split(text);
-  f.code_lines = split(code);
-  preproc_lines.resize(f.code_lines.size(), false);
-  f.preproc = preproc_lines;
-  // Blank preprocessor lines out of the code view; tokens must not come
-  // from directives (macro *definitions* of e.g. the marker are not uses).
-  for (size_t i = 0; i < f.code_lines.size(); ++i) {
-    if (f.preproc[i]) f.code_lines[i].assign(f.code_lines[i].size(), ' ');
-  }
-}
-
-// ---- allow-comments -----------------------------------------------------
-
-std::string Trim(std::string_view s) {
-  size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return std::string(s.substr(b, e - b));
-}
-
-// A rule id is lowercase-kebab; anything else after `allow(` is prose (for
-// example documentation quoting the directive syntax), not a directive.
-bool IsRuleShaped(const std::string& s) {
-  if (s.empty() || !std::islower(static_cast<unsigned char>(s[0])))
-    return false;
-  for (char c : s) {
-    if (!(std::islower(static_cast<unsigned char>(c)) ||
-          std::isdigit(static_cast<unsigned char>(c)) || c == '-'))
-      return false;
-  }
-  return true;
-}
-
-void ParseAllows(SourceFile& f) {
-  // Assembled so the linter's own source does not contain the literal tag.
-  const std::string tag = std::string("cfl-lint") + ":";
-  for (size_t i = 0; i < f.raw_lines.size(); ++i) {
-    const std::string& line = f.raw_lines[i];
-    size_t at = line.find(tag);
-    if (at == std::string::npos) continue;
-    Allow allow;
-    allow.line = static_cast<int>(i + 1);
-    std::string rest = Trim(line.substr(at + tag.size()));
-    const std::string kw = "allow(";
-    if (rest.compare(0, kw.size(), kw) != 0) {
-      allow.problem =
-          "expected allow(rule) plus a reason after the directive tag";
-      f.allows.push_back(allow);
-      continue;
-    }
-    size_t close = rest.find(')', kw.size());
-    if (close == std::string::npos) {
-      allow.problem = "unterminated allow(rule)";
-      f.allows.push_back(allow);
-      continue;
-    }
-    allow.rule = Trim(rest.substr(kw.size(), close - kw.size()));
-    if (!IsRuleShaped(allow.rule)) continue;  // prose, not a directive
-    std::string reason = Trim(rest.substr(close + 1));
-    if (KnownRules().count(allow.rule) == 0) {
-      allow.problem = "unknown rule id '" + allow.rule + "'";
-    } else if (reason.empty()) {
-      allow.problem = "missing justification after allow(" + allow.rule + ")";
-    } else {
-      allow.well_formed = true;
-    }
-    f.allows.push_back(allow);
-  }
-}
-
-// True if a well-formed allow for `rule` covers `line` (same line or the
-// line directly above).
-bool Allowed(const SourceFile& f, const char* rule, int line) {
-  for (const Allow& a : f.allows) {
-    if (!a.well_formed || a.rule != rule) continue;
-    if (a.line == line || a.line + 1 == line) return true;
-  }
-  return false;
-}
-
-// ---- small matching helpers (token-ish, on stripped lines) --------------
-
-// Finds whole-word occurrences of `word` in `line`; returns columns.
-std::vector<size_t> FindWord(const std::string& line,
-                             std::string_view word) {
-  std::vector<size_t> hits;
-  size_t at = 0;
-  while ((at = line.find(word, at)) != std::string::npos) {
-    bool left_ok = at == 0 || !IsIdentChar(line[at - 1]);
-    size_t end = at + word.size();
-    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
-    if (left_ok && right_ok) hits.push_back(at);
-    at = end;
-  }
-  return hits;
-}
-
-// Matches `std :: name` with arbitrary interior whitespace, for any name in
-// `names`. Returns the matched name or empty.
-std::string FindStdMember(const std::string& line,
-                          const std::vector<std::string>& names) {
-  for (size_t col : FindWord(line, "std")) {
-    size_t i = col + 3;
-    while (i < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[i])))
-      ++i;
-    if (i + 1 >= line.size() || line[i] != ':' || line[i + 1] != ':')
-      continue;
-    i += 2;
-    while (i < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[i])))
-      ++i;
-    for (const std::string& name : names) {
-      if (line.compare(i, name.size(), name) == 0) {
-        size_t end = i + name.size();
-        if (end >= line.size() || !IsIdentChar(line[end])) return name;
-      }
-    }
-  }
-  return {};
-}
-
-// ---- tokenizer (for the immutable-class analysis) -----------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-std::vector<Token> Tokenize(const SourceFile& f) {
-  std::vector<Token> tokens;
-  for (size_t li = 0; li < f.code_lines.size(); ++li) {
-    const std::string& line = f.code_lines[li];
-    size_t i = 0;
-    while (i < line.size()) {
-      char c = line[i];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++i;
-        continue;
-      }
-      Token t;
-      t.line = static_cast<int>(li + 1);
-      if (IsIdentChar(c)) {
-        size_t j = i;
-        while (j < line.size() && IsIdentChar(line[j])) ++j;
-        t.text = line.substr(i, j - i);
-        i = j;
-      } else if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
-        t.text = "::";
-        i += 2;
-      } else {
-        t.text.assign(1, c);
-        ++i;
-      }
-      tokens.push_back(std::move(t));
-    }
-  }
-  return tokens;
-}
-
-size_t SkipGroup(const std::vector<Token>& toks, size_t open,
-                 const char* open_sym, const char* close_sym) {
-  // `open` indexes the opening symbol; returns index one past its match.
-  int depth = 0;
-  size_t i = open;
-  for (; i < toks.size(); ++i) {
-    if (toks[i].text == open_sym) ++depth;
-    if (toks[i].text == close_sym && --depth == 0) return i + 1;
-  }
-  return i;
-}
-
-struct MarkedClass {
-  std::string name;
-  bool is_struct = false;
-  size_t body_begin = 0;  // token index just past '{'
-  size_t body_end = 0;    // token index of matching '}'
-  int line = 0;
-};
-
-// Finds CFL_IMMUTABLE_AFTER_BUILD-marked class/struct bodies.
-std::vector<MarkedClass> FindMarkedClasses(const std::vector<Token>& toks) {
-  struct Scope {
-    bool is_class = false;
-    bool is_struct = false;
-    std::string name;
-    size_t body_begin = 0;
-    bool marked = false;
-    int line = 0;
-  };
-  std::vector<MarkedClass> found;
-  std::vector<Scope> stack;
-
-  bool pending = false;      // saw class/struct, waiting for '{' or ';'
-  bool pending_struct = false;
-  bool name_frozen = false;  // stop updating the name after ':' (bases)
-  std::string pending_name;
-  int pending_line = 0;
-
-  for (size_t i = 0; i < toks.size(); ++i) {
-    const std::string& t = toks[i].text;
-    if ((t == "class" || t == "struct") &&
-        !(i > 0 && toks[i - 1].text == "enum")) {
-      pending = true;
-      pending_struct = (t == "struct");
-      name_frozen = false;
-      pending_name.clear();
-      pending_line = toks[i].line;
-      continue;
-    }
-    if (pending) {
-      if (t == "{") {
-        Scope s;
-        s.is_class = true;
-        s.is_struct = pending_struct;
-        s.name = pending_name;
-        s.body_begin = i + 1;
-        s.line = pending_line;
-        stack.push_back(s);
-        pending = false;
-        continue;
-      }
-      if (t == ";" || t == ")" || t == "}") {
-        pending = false;  // forward declaration / stray close
-      } else if (!name_frozen && (t == ">" || t == "<" || t == "," ||
-                                  t == "&" || t == "*")) {
-        pending = false;  // `template <class T>` — a parameter, not a class
-      } else if (t == "(") {
-        // Attribute macro between `class` and the name — skip its args.
-        i = SkipGroup(toks, i, "(", ")") - 1;
-      } else if (t == ":") {
-        name_frozen = true;
-      } else if (!name_frozen && t != "final" && t != "::" &&
-                 IsIdentChar(t[0])) {
-        pending_name = t;
-      }
-      continue;
-    }
-    if (t == "{") {
-      stack.push_back(Scope{});  // non-class scope
-    } else if (t == "}") {
-      if (!stack.empty()) {
-        Scope s = stack.back();
-        stack.pop_back();
-        if (s.is_class && s.marked) {
-          MarkedClass mc;
-          mc.name = s.name;
-          mc.is_struct = s.is_struct;
-          mc.body_begin = s.body_begin;
-          mc.body_end = i;
-          mc.line = s.line;
-          found.push_back(mc);
-        }
-      }
-    } else if (t == kMarker) {
-      // Attach to the innermost class scope.
-      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-        if (it->is_class) {
-          it->marked = true;
-          break;
-        }
-      }
-    }
-  }
-  return found;
-}
+using cfl::lint::kBadAllow;
+using cfl::lint::kBannedInclude;
+using cfl::lint::kConstCast;
+using cfl::lint::kImmutableClass;
+using cfl::lint::kMutableMember;
+using cfl::lint::kRawAssert;
+using cfl::lint::kRawClock;
+using cfl::lint::kRawMutex;
 
 // Scans one marked class body for contract violations.
 void CheckMarkedClass(const SourceFile& f, const std::vector<Token>& toks,
-                      const MarkedClass& cls,
-                      std::vector<Diagnostic>& diags) {
-  auto report = [&](int line, const std::string& msg) {
+                      const ClassInfo& cls, std::vector<Diagnostic>& diags) {
+  auto report = [&](int line, int col, const std::string& msg) {
     if (Allowed(f, kImmutableClass, line)) return;
-    diags.push_back({f.path, line, kImmutableClass, msg});
+    diags.push_back({f.path, line, col, kImmutableClass, msg});
   };
 
   // `mutable` anywhere in the class span (incl. nested aggregates).
   for (size_t i = cls.body_begin; i < cls.body_end; ++i) {
     if (toks[i].text == "mutable") {
-      report(toks[i].line, "mutable member inside " + std::string(kMarker) +
-                               " class '" + cls.name + "'");
+      report(toks[i].line, toks[i].col,
+             "mutable member inside " + std::string(kMarker) + " class '" +
+                 cls.name + "'");
     }
   }
 
@@ -627,10 +160,10 @@ void CheckMarkedClass(const SourceFile& f, const std::vector<Token>& toks,
       continue;
     }
     bool is_ctor_or_dtor =
-        name == cls.name ||
-        (i >= decl_start + 2 && toks[i - 2].text == "~");
+        name == cls.name || (i >= decl_start + 2 && toks[i - 2].text == "~");
     if (saw_operator && operator_sym == "=") exempt = true;  // assignment
     int name_line = toks[i - 1].line;
+    int name_col = toks[i - 1].col;
     // Walk the qualifiers after the parameter list.
     size_t j = SkipGroup(toks, i, "(", ")");
     bool is_const = false;
@@ -677,7 +210,7 @@ void CheckMarkedClass(const SourceFile& f, const std::vector<Token>& toks,
 
     if (exempt || is_ctor_or_dtor || deleted || is_const) continue;
     if (access != "public") continue;
-    report(name_line,
+    report(name_line, name_col,
            "non-const public method '" + name + "' on " + kMarker +
                " class '" + cls.name +
                "' — instances are shared read-only across workers");
@@ -694,24 +227,16 @@ struct IncludeBan {
 
 void LintFile(const std::string& display_path, const fs::path& file,
               std::vector<Diagnostic>& diags, bool& io_error) {
-  std::ifstream in(file, std::ios::binary);
-  if (!in) {
+  SourceFile f;
+  if (!cfl::lint::LoadSourceFile(display_path, file, f)) {
     std::cerr << "cfl_lint: cannot read " << display_path << "\n";
     io_error = true;
     return;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
 
-  SourceFile f;
-  f.path = display_path;
-  f.generic_path = fs::path(display_path).generic_string();
-  StripSource(f, buf.str());
-  ParseAllows(f);
-
-  for (const Allow& a : f.allows) {
+  for (const cfl::lint::Allow& a : f.allows) {
     if (!a.well_formed) {
-      diags.push_back({f.path, a.line, kBadAllow, a.problem});
+      diags.push_back({f.path, a.line, 1, kBadAllow, a.problem});
     }
   }
 
@@ -747,7 +272,8 @@ void LintFile(const std::string& display_path, const fs::path& file,
           ++after;
         if (after < line.size() && line[after] == '(' &&
             !Allowed(f, kRawAssert, line_no)) {
-          diags.push_back({f.path, line_no, kRawAssert,
+          diags.push_back({f.path, line_no, static_cast<int>(col + 1),
+                           kRawAssert,
                            "raw assert() — use CFL_DCHECK / CFL_CHECK "
                            "(src/check/check.h) for context on failure"});
           break;
@@ -759,36 +285,40 @@ void LintFile(const std::string& display_path, const fs::path& file,
       std::string hit = FindStdMember(line, kMutexNames);
       if (!hit.empty() && !Allowed(f, kRawMutex, line_no)) {
         diags.push_back(
-            {f.path, line_no, kRawMutex,
+            {f.path, line_no, 1, kRawMutex,
              "raw std::" + hit +
                  " — use the annotated cfl::Mutex / cfl::MutexLock / "
                  "cfl::CondVar (src/check/thread_annotations.h) so Thread "
                  "Safety Analysis sees the critical section"});
       }
 
-      if (!FindWord(line, "mutable").empty() &&
-          !Allowed(f, kMutableMember, line_no)) {
+      std::vector<size_t> mutable_hits = FindWord(line, "mutable");
+      if (!mutable_hits.empty() && !Allowed(f, kMutableMember, line_no)) {
         diags.push_back(
-            {f.path, line_no, kMutableMember,
+            {f.path, line_no, static_cast<int>(mutable_hits[0] + 1),
+             kMutableMember,
              "`mutable` — const-invisible state breaks the shared-read "
              "contracts; justify with `// cfl-lint: allow(mutable-member) "
              "<reason>` if this really is private scratch"});
       }
 
-      if (!FindWord(line, "const_cast").empty() &&
-          !Allowed(f, kConstCast, line_no)) {
-        diags.push_back({f.path, line_no, kConstCast,
+      std::vector<size_t> cast_hits = FindWord(line, "const_cast");
+      if (!cast_hits.empty() && !Allowed(f, kConstCast, line_no)) {
+        diags.push_back({f.path, line_no, static_cast<int>(cast_hits[0] + 1),
+                         kConstCast,
                          "const_cast pierces the immutability contracts"});
       }
     }
 
-    if (!clock_exempt && !FindWord(line, "steady_clock").empty() &&
-        !Allowed(f, kRawClock, line_no)) {
-      diags.push_back(
-          {f.path, line_no, kRawClock,
-           "raw steady_clock — wall-clock reads go through cfl::obs "
-           "(src/obs/clock.h) or the harness Stopwatch so phase accounting "
-           "stays reconcilable with MatchStats"});
+    if (!clock_exempt) {
+      std::vector<size_t> clock_hits = FindWord(line, "steady_clock");
+      if (!clock_hits.empty() && !Allowed(f, kRawClock, line_no)) {
+        diags.push_back(
+            {f.path, line_no, static_cast<int>(clock_hits[0] + 1), kRawClock,
+             "raw steady_clock — wall-clock reads go through cfl::obs "
+             "(src/obs/clock.h) or the harness Stopwatch so phase accounting "
+             "stays reconcilable with MatchStats"});
+      }
     }
   }
 
@@ -826,7 +356,8 @@ void LintFile(const std::string& display_path, const fs::path& file,
           continue;
         const int line_no = static_cast<int>(li + 1);
         if (Allowed(f, kBannedInclude, line_no)) continue;
-        diags.push_back({f.path, line_no, kBannedInclude,
+        diags.push_back({f.path, line_no, static_cast<int>(hash + 1),
+                         kBannedInclude,
                          "#include <" + header + "> in library code — " +
                              ban.hint});
       }
@@ -840,9 +371,10 @@ void LintFile(const std::string& display_path, const fs::path& file,
     if (t.text == kMarker) marker_used = true;
   }
   if (marker_used) {
-    std::vector<MarkedClass> classes = FindMarkedClasses(tokens);
+    std::vector<ClassInfo> classes = FindClasses(tokens);
     size_t attached = 0;
-    for (const MarkedClass& cls : classes) {
+    for (const ClassInfo& cls : classes) {
+      if (!cls.marked) continue;
       attached += 1;
       CheckMarkedClass(f, tokens, cls, diags);
     }
@@ -850,7 +382,7 @@ void LintFile(const std::string& display_path, const fs::path& file,
       // Marker present but not inside any class body we could parse.
       for (const Token& t : tokens) {
         if (t.text == kMarker) {
-          diags.push_back({f.path, t.line, kImmutableClass,
+          diags.push_back({f.path, t.line, t.col, kImmutableClass,
                            std::string(kMarker) +
                                " must appear inside a class body"});
           break;
@@ -862,15 +394,12 @@ void LintFile(const std::string& display_path, const fs::path& file,
 
 // ---- driver -------------------------------------------------------------
 
-bool HasLintableExtension(const fs::path& p) {
-  std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
-}
-
 int Usage(int code) {
-  std::cerr << "usage: cfl_lint [--root DIR] [FILE...]\n"
+  std::cerr << "usage: cfl_lint [--root DIR] [--json] [FILE...]\n"
             << "  Lints FILEs, or with none given every .h/.cc/.cpp under\n"
-            << "  DIR/src, DIR/bench, DIR/tools (DIR defaults to `.`).\n";
+            << "  DIR/src, DIR/bench, DIR/tools (DIR defaults to `.`).\n"
+            << "  --json emits one JSON document instead of gcc-style "
+               "lines.\n";
   return code;
 }
 
@@ -878,12 +407,15 @@ int Usage(int code) {
 
 int main(int argc, char** argv) {
   fs::path root = ".";
+  bool json = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root") {
       if (i + 1 >= argc) return Usage(2);
       root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -901,7 +433,8 @@ int main(int argc, char** argv) {
       if (!fs::is_directory(dir, ec)) continue;
       for (fs::recursive_directory_iterator it(dir, ec), end;
            it != end && !ec; it.increment(ec)) {
-        if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
+        if (it->is_regular_file(ec) &&
+            cfl::lint::HasLintableExtension(it->path())) {
           files.push_back(it->path().string());
         }
       }
@@ -921,24 +454,6 @@ int main(int argc, char** argv) {
   }
   if (io_error) return 2;
 
-  std::sort(diags.begin(), diags.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-  std::set<std::string> files_with_errors;
-  for (const Diagnostic& d : diags) {
-    std::cout << d.file << ":" << d.line << ": error: [" << d.rule << "] "
-              << d.message << "\n";
-    files_with_errors.insert(d.file);
-  }
-  if (diags.empty()) {
-    std::cout << "cfl_lint: clean (" << files.size() << " files)\n";
-    return 0;
-  }
-  std::cout << "cfl_lint: " << diags.size() << " error(s) in "
-            << files_with_errors.size() << " file(s) (" << files.size()
-            << " files scanned)\n";
-  return 1;
+  cfl::lint::PrintDiagnostics("cfl_lint", diags, files.size(), json);
+  return diags.empty() ? 0 : 1;
 }

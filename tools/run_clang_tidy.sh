@@ -1,20 +1,29 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: .clang-tidy at the repo root) over every
-# translation unit under src/, using the compilation database of an
-# existing build directory.
+# translation unit under src/ and diffs the findings against the committed
+# baseline (tools/clang_tidy_baseline.txt). Only NEW findings fail the run,
+# so a toolchain upgrade that introduces noisy checks can be absorbed by
+# re-baselining instead of blocking every PR; resolved findings are
+# reported so the baseline can be shrunk.
 #
 # Usage:
-#   tools/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#   tools/run_clang_tidy.sh [BUILD_DIR] [--update-baseline] [-- extra args]
 #
 # BUILD_DIR is resolved by tools/find_build_dir.sh (argument, then
 # $CFL_BUILD_DIR, then the preset binary dirs) so clang-tidy and cfl_lint
 # share a single compile-commands path in CI.
-# Exits non-zero if clang-tidy reports any warning promoted to error by the
-# WarningsAsErrors list in .clang-tidy, so CI can gate on it.
+#
+# Findings are normalized before comparison: the repo-root prefix and the
+# line:col are stripped (line numbers drift on every unrelated edit), so a
+# baseline entry is `file: severity: message [check]`. --update-baseline
+# rewrites the baseline from the current findings.
+#
+# Exit codes: 0 no new findings, 1 new findings, 2 environment error.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+baseline="${repo_root}/tools/clang_tidy_baseline.txt"
 
 tidy_bin="${CLANG_TIDY:-}"
 if [[ -z "${tidy_bin}" ]]; then
@@ -33,30 +42,78 @@ if [[ -z "${tidy_bin}" ]]; then
 fi
 
 build_dir=""
+update_baseline=0
 extra_args=()
-if [[ $# -gt 0 && "$1" != "--" ]]; then
-  build_dir="$1"
-  shift
-fi
-if [[ $# -gt 0 && "$1" == "--" ]]; then
-  shift
-  extra_args=("$@")
-fi
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --update-baseline)
+      update_baseline=1
+      shift
+      ;;
+    --)
+      shift
+      extra_args=("$@")
+      break
+      ;;
+    *)
+      build_dir="$1"
+      shift
+      ;;
+  esac
+done
 build_dir="$("${repo_root}/tools/find_build_dir.sh" "${build_dir}")"
 
 mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)
 echo "clang-tidy (${tidy_bin}) over ${#sources[@]} files" \
      "using ${build_dir}/compile_commands.json"
 
-status=0
+# Collect findings; clang-tidy's exit status is ignored here — the gate is
+# the baseline diff, not the raw status.
+raw="$(mktemp)"
+trap 'rm -f "${raw}" "${raw}.cur" "${raw}.base"' EXIT
 for source in "${sources[@]}"; do
-  if ! "${tidy_bin}" -p "${build_dir}" --quiet "${extra_args[@]}" \
-       "${source}"; then
-    status=1
-  fi
+  "${tidy_bin}" -p "${build_dir}" --quiet "${extra_args[@]}" \
+    "${source}" >> "${raw}" 2> /dev/null || true
 done
 
-if [[ ${status} -ne 0 ]]; then
-  echo "run_clang_tidy.sh: clang-tidy reported errors" >&2
+# Normalize: repo-root prefix off, line:col off, one finding per line.
+grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' "${raw}" \
+  | sed "s|^${repo_root}/||" \
+  | sed -E 's|^([^:]+):[0-9]+:[0-9]+:|\1:|' \
+  | sort -u > "${raw}.cur"
+
+if [[ ${update_baseline} -eq 1 ]]; then
+  {
+    echo "# clang-tidy baseline — normalized findings (file: severity:"
+    echo "# message [check]) that run_clang_tidy.sh tolerates. Regenerate"
+    echo "# with: tools/run_clang_tidy.sh --update-baseline"
+    cat "${raw}.cur"
+  } > "${baseline}"
+  echo "run_clang_tidy.sh: baseline updated ($(wc -l < "${raw}.cur")" \
+       "findings) -> ${baseline}"
+  exit 0
 fi
-exit ${status}
+
+if [[ ! -f "${baseline}" ]]; then
+  echo "run_clang_tidy.sh: no baseline at ${baseline}; run with" \
+       "--update-baseline to create one" >&2
+  exit 2
+fi
+grep -v '^#' "${baseline}" | sort -u > "${raw}.base"
+
+new_findings="$(comm -13 "${raw}.base" "${raw}.cur")"
+resolved="$(comm -23 "${raw}.base" "${raw}.cur")"
+
+if [[ -n "${resolved}" ]]; then
+  echo "run_clang_tidy.sh: findings in the baseline no longer fire" \
+       "(shrink it with --update-baseline):"
+  printf '  %s\n' "${resolved}"
+fi
+if [[ -n "${new_findings}" ]]; then
+  echo "run_clang_tidy.sh: NEW findings not in the baseline:" >&2
+  printf '  %s\n' "${new_findings}" >&2
+  exit 1
+fi
+echo "run_clang_tidy.sh: clean ($(wc -l < "${raw}.cur") findings, all" \
+     "baselined)"
+exit 0
