@@ -1,0 +1,41 @@
+#include "check/env.h"
+
+#include <cstring>
+#include <map>
+#include <string>
+
+// POSIX: the raw environment block. Scanning it once at snapshot time avoids
+// std::getenv entirely (the function clang-tidy flags as concurrency-mt-
+// unsafe); the snapshot itself is immutable afterwards.
+extern "C" char** environ;
+
+namespace cfl::env {
+
+namespace {
+
+const std::map<std::string, std::string>& Snapshot() {
+  static const std::map<std::string, std::string> snapshot = [] {
+    std::map<std::string, std::string> vars;
+    for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+      const char* entry = *e;
+      if (std::strncmp(entry, "CFL_", 4) != 0) continue;
+      const char* eq = std::strchr(entry, '=');
+      if (eq == nullptr || eq[1] == '\0') continue;  // unset-like or empty
+      vars.emplace(std::string(entry, eq), std::string(eq + 1));
+    }
+    return vars;
+  }();
+  return snapshot;
+}
+
+}  // namespace
+
+void Capture() { Snapshot(); }
+
+const char* Get(const char* name) {
+  const auto& vars = Snapshot();
+  auto it = vars.find(name);
+  return it == vars.end() ? nullptr : it->second.c_str();
+}
+
+}  // namespace cfl::env

@@ -1,0 +1,38 @@
+// Process-environment snapshot for long-lived processes.
+//
+// `std::getenv` is not safe to call once worker threads exist (another
+// thread calling setenv/putenv may invalidate the returned pointer), which
+// is exactly the situation a resident server is in: config knobs are read
+// on query paths long after startup. The fix is structural: every CFL_*
+// knob is captured ONCE into an immutable snapshot, and all later reads hit
+// the snapshot.
+//
+// The capture scans `environ` directly instead of calling getenv per name,
+// so no mt-unsafe function is involved at all; the snapshot is built inside
+// a function-local static (thread-safe magic-statics) on first access.
+// Call `Capture()` explicitly at the top of main() in resident processes to
+// pin the capture point before any thread is spawned; short-lived CLIs may
+// rely on the lazy first-read capture.
+//
+// This lives in the dependency-free `check` base module (not src/harness)
+// because the validate gate — module `validate`, which sits *below* harness
+// in the layering DAG — must read it too; src/harness/env.h keeps the
+// user-facing bench-knob accessors and delegates here.
+
+#ifndef CFL_CHECK_ENV_H_
+#define CFL_CHECK_ENV_H_
+
+namespace cfl::env {
+
+// Forces the snapshot to be taken now (idempotent; only the first call —
+// or first Get, whichever comes earlier — reads the process environment).
+void Capture();
+
+// Cached value of the environment variable `name` from the snapshot, or
+// nullptr when it was unset or empty at capture time. Only CFL_*-prefixed
+// names are captured; any other name returns nullptr.
+const char* Get(const char* name);
+
+}  // namespace cfl::env
+
+#endif  // CFL_CHECK_ENV_H_

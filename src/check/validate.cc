@@ -1,11 +1,12 @@
 #include "check/validate.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
+
+#include "check/env.h"
 
 #include "decomp/two_core.h"
 
@@ -660,9 +661,10 @@ bool DebugValidationEnabled() {
   return true;
 #else
   static const bool enabled = [] {
-    // Read exactly once (static init), before any worker thread exists.
-    const char* v = std::getenv("CFL_VALIDATE");  // NOLINT(concurrency-mt-unsafe)
-    return v != nullptr && v[0] != '\0' && v[0] != '0';
+    // Reads the immutable process-env snapshot (check/env.h), never the
+    // live environment: safe on query paths of long-lived processes.
+    const char* v = env::Get("CFL_VALIDATE");
+    return v != nullptr && v[0] != '0';
   }();
   return enabled;
 #endif

@@ -3,46 +3,54 @@
 #include <cstdlib>
 #include <string>
 
+#include "check/env.h"
+
 namespace cfl {
 
 namespace {
 
 const char* Getenv(const char* name) {
-  // Config is read once at startup, before any worker thread exists.
-  const char* value = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
-  return (value != nullptr && value[0] != '\0') ? value : nullptr;
+  // All knobs come from the immutable process-env snapshot (check/env.h):
+  // no getenv on any path, so reads stay safe after worker threads exist.
+  return env::Get(name);
 }
 
 }  // namespace
 
-double BenchScale(double fallback) {
-  const char* value = Getenv("CFL_BENCH_SCALE");
-  if (value == nullptr) return fallback;
+double ParseBenchScale(const char* value, double fallback) {
+  if (value == nullptr || value[0] == '\0') return fallback;
   std::string s(value);
   if (s == "full" || s == "FULL") return 1.0;
   double parsed = std::atof(value);
   return (parsed > 0.0 && parsed <= 1.0) ? parsed : fallback;
 }
 
-uint32_t BenchQueries(uint32_t fallback) {
-  const char* value = Getenv("CFL_BENCH_QUERIES");
-  if (value == nullptr) return fallback;
+uint32_t ParsePositiveU32(const char* value, uint32_t fallback) {
+  if (value == nullptr || value[0] == '\0') return fallback;
   long parsed = std::atol(value);
   return parsed > 0 ? static_cast<uint32_t>(parsed) : fallback;
 }
 
-double BenchTimeLimitSeconds(double fallback) {
-  const char* value = Getenv("CFL_BENCH_TIME_LIMIT_S");
-  if (value == nullptr) return fallback;
+double ParsePositiveSeconds(const char* value, double fallback) {
+  if (value == nullptr || value[0] == '\0') return fallback;
   double parsed = std::atof(value);
   return parsed > 0.0 ? parsed : fallback;
 }
 
+double BenchScale(double fallback) {
+  return ParseBenchScale(Getenv("CFL_BENCH_SCALE"), fallback);
+}
+
+uint32_t BenchQueries(uint32_t fallback) {
+  return ParsePositiveU32(Getenv("CFL_BENCH_QUERIES"), fallback);
+}
+
+double BenchTimeLimitSeconds(double fallback) {
+  return ParsePositiveSeconds(Getenv("CFL_BENCH_TIME_LIMIT_S"), fallback);
+}
+
 uint32_t BenchThreads(uint32_t fallback) {
-  const char* value = Getenv("CFL_BENCH_THREADS");
-  if (value == nullptr) return fallback;
-  long parsed = std::atol(value);
-  return parsed > 0 ? static_cast<uint32_t>(parsed) : fallback;
+  return ParsePositiveU32(Getenv("CFL_BENCH_THREADS"), fallback);
 }
 
 std::string BenchJsonPath() {

@@ -38,6 +38,14 @@ uint32_t BenchThreads(uint32_t fallback = 1);
 // first append).
 std::string BenchJsonPath();
 
+// The accessors above read the immutable process-env snapshot taken by
+// cfl::env (src/check/env.h) — never the live environment — so they stay
+// safe on the query paths of long-lived processes. setenv after the
+// snapshot has no effect. The raw parsers are exposed for tests:
+double ParseBenchScale(const char* value, double fallback);
+uint32_t ParsePositiveU32(const char* value, uint32_t fallback);
+double ParsePositiveSeconds(const char* value, double fallback);
+
 }  // namespace cfl
 
 #endif  // CFL_HARNESS_ENV_H_

@@ -189,7 +189,11 @@ MatchResult CflMatcher::Match(const Graph& q, const MatchOptions& options) {
   }
 
   if (status == EnumerateStatus::kTimedOut) result.timed_out = true;
-  result.reached_limit = !result.timed_out && result.embeddings >= cap;
+  // The two stop flags are independent: reached_limit reports the cap was
+  // hit, timed_out reports the deadline expired, and a run that does both in
+  // the same instant reports both — every engine (serial, parallel, the
+  // baselines) classifies identically, which cfl_difftest asserts.
+  result.reached_limit = result.embeddings >= cap;
 
   result.candidates_tried = state.candidates_tried;
   result.candidates_bound = state.candidates_bound;

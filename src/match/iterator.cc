@@ -2,11 +2,7 @@
 
 #include "check/check.h"
 #include "check/narrow.h"
-#include "cpi/candidate_filter.h"
-#include "cpi/cpi_builder.h"
-#include "cpi/root_select.h"
-#include "decomp/cfl_decomposition.h"
-#include "decomp/two_core.h"
+#include "match/cfl_match.h"
 
 namespace cfl {
 
@@ -14,11 +10,12 @@ namespace cfl {
 
 StepEnumerator::StepEnumerator(const Graph& data, const Cpi& cpi,
                                const std::vector<MatchStep>& steps,
-                               EnumeratorState* state)
+                               EnumeratorState* state, Deadline* deadline)
     : data_(data),
       cpi_(cpi),
       steps_(steps),
       state_(state),
+      deadline_(deadline),
       cursor_(steps.size(), 0) {}
 
 void StepEnumerator::Abort() {
@@ -55,6 +52,16 @@ bool StepEnumerator::Next() {
   }
 
   while (true) {
+    // Same cooperative-deadline granularity as EnumeratePartial: one coarse
+    // check per depth visit, so a resumed search cannot outlive its budget
+    // no matter how barren the subtree is.
+    if (deadline_ != nullptr && deadline_->ExpiredCoarse()) {
+      bound_ = depth;
+      timed_out_ = true;
+      Abort();
+      return false;
+    }
+
     const MatchStep& step = steps_[depth];
     const bool is_root = (depth == 0 && step.parent == kInvalidVertex);
     std::span<const uint32_t> adjacent;
@@ -111,11 +118,12 @@ bool StepEnumerator::Next() {
 
 LeafEnumerator::LeafEnumerator(const Graph& data, const Cpi& cpi,
                                const std::vector<VertexId>& leaves,
-                               EnumeratorState* state)
+                               EnumeratorState* state, Deadline* deadline)
     : data_(data),
       cpi_(cpi),
       leaves_(leaves),
       state_(state),
+      deadline_(deadline),
       cursor_(leaves.size(), 0),
       exhausted_(true) {}
 
@@ -157,6 +165,13 @@ bool LeafEnumerator::Next() {
   }
 
   while (true) {
+    if (deadline_ != nullptr && deadline_->ExpiredCoarse()) {
+      bound_ = depth;
+      timed_out_ = true;
+      Abort();
+      return false;
+    }
+
     VertexId u = leaves_[depth];
     VertexId parent = cpi_.tree().parent[u];
     std::span<const uint32_t> adjacent =
@@ -195,21 +210,26 @@ bool LeafEnumerator::Next() {
 // ---- EmbeddingIterator ------------------------------------------------------
 
 struct EmbeddingIterator::Pipeline {
-  Cpi cpi;
-  MatchingOrder order;
+  // Shared ownership keeps cached plans alive while a stream runs; for the
+  // self-preparing constructor the iterator is the only owner.
+  std::shared_ptr<const PreparedQuery> prepared;
+  Deadline deadline;
   EnumeratorState state;
   StepEnumerator steps;
   LeafEnumerator leaves;
   bool inner_active = false;
   bool dead = false;  // empty candidate set: no embeddings at all
 
-  Pipeline(const Graph& data, Cpi built_cpi, MatchingOrder built_order)
-      : cpi(std::move(built_cpi)),
-        order(std::move(built_order)),
-        state(CheckedU32(cpi.tree().parent.size()),
+  Pipeline(const Graph& data, std::shared_ptr<const PreparedQuery> plan,
+           const MatchLimits& limits)
+      : prepared(std::move(plan)),
+        deadline(limits.time_limit_seconds),
+        state(CheckedU32(prepared->cpi.tree().parent.size()),
               data.NumVertices()),
-        steps(data, cpi, order.steps, &state),
-        leaves(data, cpi, order.leaves, &state) {}
+        steps(data, prepared->cpi, prepared->order.steps, &state, &deadline),
+        leaves(data, prepared->cpi, prepared->order.leaves, &state,
+               &deadline),
+        dead(prepared->no_results) {}
 };
 
 EmbeddingIterator::~EmbeddingIterator() = default;
@@ -217,36 +237,26 @@ EmbeddingIterator::EmbeddingIterator(EmbeddingIterator&&) noexcept = default;
 EmbeddingIterator& EmbeddingIterator::operator=(EmbeddingIterator&&) noexcept =
     default;
 
-EmbeddingIterator::EmbeddingIterator(const Graph& data, const Graph& query) {
+EmbeddingIterator::EmbeddingIterator(const Graph& data, const Graph& query,
+                                     const MatchLimits& limits)
+    : cap_(limits.max_embeddings) {
   // Front half of CflMatcher::Match: decomposition, root, CPI, order.
-  std::vector<VertexId> core = TwoCoreVertices(query);
-  std::vector<VertexId> choices = core;
-  if (choices.empty()) {
-    for (VertexId u = 0; u < query.NumVertices(); ++u) choices.push_back(u);
-  }
-  LabelDegreeIndex index(data);
-  VertexId root = SelectRoot(query, data, index, choices);
-  CflDecomposition decomposition = DecomposeCfl(query, root);
-  BfsTree tree = BuildBfsTree(query, root);
-  Cpi cpi = BuildCpi(query, data, tree);
-  bool dead = cpi.HasEmptyCandidateSet();
-  MatchingOrder order =
-      dead ? MatchingOrder{}
-           : ComputeMatchingOrder(query, cpi, decomposition,
-                                  DecompositionMode::kCfl);
-  if (dead) {
-    // Give the dead pipeline one unmatchable step so Next() terminates
-    // immediately (empty candidate list for the root).
-    MatchStep step;
-    step.u = root;
-    order.steps.push_back(step);
-  }
-  p_ = std::make_unique<Pipeline>(data, std::move(cpi), std::move(order));
-  p_->dead = dead;
+  CflMatcher matcher(data);
+  p_ = std::make_unique<Pipeline>(
+      data, std::make_shared<const PreparedQuery>(matcher.Prepare(query)),
+      limits);
+}
+
+EmbeddingIterator::EmbeddingIterator(
+    const Graph& data, std::shared_ptr<const PreparedQuery> prepared,
+    const MatchLimits& limits)
+    : cap_(limits.max_embeddings) {
+  CFL_CHECK(prepared != nullptr);
+  p_ = std::make_unique<Pipeline>(data, std::move(prepared), limits);
 }
 
 bool EmbeddingIterator::Next(Embedding* out) {
-  if (exhausted_ || p_->dead) {
+  if (exhausted_ || p_->dead || produced_ >= cap_) {
     exhausted_ = true;
     return false;
   }
@@ -264,8 +274,16 @@ bool EmbeddingIterator::Next(Embedding* out) {
       ++produced_;
       return true;
     }
+    if (p_->leaves.timed_out()) {
+      exhausted_ = true;
+      return false;
+    }
     p_->inner_active = false;
   }
+}
+
+bool EmbeddingIterator::timed_out() const {
+  return p_ != nullptr && (p_->steps.timed_out() || p_->leaves.timed_out());
 }
 
 }  // namespace cfl

@@ -9,9 +9,17 @@
 // to produce one more embedding. Nothing is ever materialized beyond the
 // O(|V(q)|) search state.
 //
-//   cfl::EmbeddingIterator it(data, query);
+//   cfl::EmbeddingIterator it(data, query, limits);
 //   cfl::Embedding m;
 //   while (it.Next(&m)) Use(m);
+//   if (it.timed_out()) ...   // deadline expired mid-search
+//
+// The iterator honors MatchLimits like every engine: Next() returns false
+// once `max_embeddings` have been produced (reached_limit()) or when the
+// deadline expires inside the resumed search (timed_out()) — without this a
+// streamed query could pin a server worker forever. It can also be armed
+// with an already-prepared (possibly cached and shared) PreparedQuery, so a
+// resident server streams results without re-running the prepare pipeline.
 //
 // The iterator is single-pass and move-only. For bulk counting prefer
 // CflMatcher::Match (it counts leaf Cartesian products without expanding
@@ -32,30 +40,41 @@
 
 namespace cfl {
 
+struct PreparedQuery;
+
 // Resumable backtracking over a step sequence (core + forest): each
 // Next() leaves the steps' bindings in `state` and returns true, or returns
-// false (with clean state) when the space is exhausted.
+// false (with clean state) when the space is exhausted or the deadline
+// expired (distinguished by timed_out()).
 class StepEnumerator {
  public:
   // All referees must outlive the enumerator. `state` is shared with any
-  // nested enumerators (the leaf stage).
+  // nested enumerators (the leaf stage); `deadline` is shared with them too
+  // so the coarse-tick amortization covers the whole pipeline.
   StepEnumerator(const Graph& data, const Cpi& cpi,
-                 const std::vector<MatchStep>& steps, EnumeratorState* state);
+                 const std::vector<MatchStep>& steps, EnumeratorState* state,
+                 Deadline* deadline = nullptr);
 
   bool Next();
 
   // Releases any held bindings (called automatically on exhaustion).
   void Abort();
 
+  // True once Next() returned false because the deadline expired rather
+  // than because the space was exhausted.
+  bool timed_out() const { return timed_out_; }
+
  private:
   const Graph& data_;
   const Cpi& cpi_;
   const std::vector<MatchStep>& steps_;
   EnumeratorState* state_;
+  Deadline* deadline_;
   std::vector<uint32_t> cursor_;
   // Number of currently-bound steps; search resumes from here.
   size_t bound_ = 0;
   bool exhausted_ = false;
+  bool timed_out_ = false;
 };
 
 // Resumable backtracking over the leaf vertices, candidates drawn from the
@@ -63,7 +82,8 @@ class StepEnumerator {
 class LeafEnumerator {
  public:
   LeafEnumerator(const Graph& data, const Cpi& cpi,
-                 const std::vector<VertexId>& leaves, EnumeratorState* state);
+                 const std::vector<VertexId>& leaves, EnumeratorState* state,
+                 Deadline* deadline = nullptr);
 
   // Re-arms the enumerator for the current core/forest binding.
   void Reset();
@@ -72,14 +92,18 @@ class LeafEnumerator {
 
   void Abort();
 
+  bool timed_out() const { return timed_out_; }
+
  private:
   const Graph& data_;
   const Cpi& cpi_;
   const std::vector<VertexId>& leaves_;
   EnumeratorState* state_;
+  Deadline* deadline_;
   std::vector<uint32_t> cursor_;
   size_t bound_ = 0;
   bool exhausted_ = false;
+  bool timed_out_ = false;
 };
 
 // The full pipeline as a single-pass iterator.
@@ -87,22 +111,42 @@ class EmbeddingIterator {
  public:
   // Runs decomposition, root selection, CPI construction, and ordering for
   // `query` over `data`; both must outlive the iterator.
-  EmbeddingIterator(const Graph& data, const Graph& query);
+  EmbeddingIterator(const Graph& data, const Graph& query,
+                    const MatchLimits& limits = {});
+
+  // Streams from an already-prepared plan (e.g. a plan-cache entry): no
+  // prepare work happens here. The shared_ptr keeps the plan alive for the
+  // iterator's lifetime, so a cache eviction cannot pull the CPI out from
+  // under a running stream. `prepared` must stem from the same data graph.
+  EmbeddingIterator(const Graph& data,
+                    std::shared_ptr<const PreparedQuery> prepared,
+                    const MatchLimits& limits = {});
+
   ~EmbeddingIterator();
 
   EmbeddingIterator(EmbeddingIterator&&) noexcept;
   EmbeddingIterator& operator=(EmbeddingIterator&&) noexcept;
 
-  // Copies the next embedding into *out; false when exhausted.
+  // Copies the next embedding into *out; false when exhausted, capped, or
+  // timed out (see the accessors below).
   bool Next(Embedding* out);
 
   // Embeddings produced so far.
   uint64_t produced() const { return produced_; }
 
+  // The deadline expired during a Next(); the stream is over (same
+  // semantics as MatchResult::timed_out — independent of reached_limit).
+  bool timed_out() const;
+
+  // max_embeddings have been produced (same semantics as
+  // MatchResult::reached_limit: true iff the cap was hit).
+  bool reached_limit() const { return produced_ >= cap_; }
+
  private:
-  struct Pipeline;  // owns cpi/order/state/enumerators
+  struct Pipeline;  // owns/shares plan + state + enumerators
   std::unique_ptr<Pipeline> p_;
   uint64_t produced_ = 0;
+  uint64_t cap_ = kNoLimit;
   bool exhausted_ = false;
 };
 

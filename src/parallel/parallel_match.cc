@@ -143,7 +143,11 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
 
   result.embeddings = total.load(std::memory_order_relaxed);
   result.timed_out = timed_out.load(std::memory_order_relaxed);
-  result.reached_limit = !result.timed_out && result.embeddings >= cap;
+  // Same tie-break as the serial matcher and the baselines: reached_limit
+  // iff the cap was hit, regardless of whether another worker's deadline
+  // expired in the same instant (both flags may be true). Without this a
+  // cap+deadline photo finish classified differently here than serially.
+  result.reached_limit = result.embeddings >= cap;
   for (uint32_t w = 0; w < workers; ++w) {
     result.candidates_tried += tried[w];
     result.candidates_bound += bound[w];

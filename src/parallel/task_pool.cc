@@ -1,0 +1,91 @@
+#include "parallel/task_pool.h"
+
+#include <exception>
+#include <utility>
+
+#include "check/check.h"
+#include "check/narrow.h"
+
+namespace cfl {
+
+TaskPool::TaskPool(uint32_t threads) : size_(threads == 0 ? 1 : threads) {
+  workers_.reserve(size_);
+  for (uint32_t id = 0; id < size_; ++id) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.NotifyAll();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::InvokeTask(const std::function<void()>& task) noexcept {
+  // Fail fast with the message instead of letting the exception escape the
+  // worker thread (std::terminate with no context); same boundary as
+  // ThreadPool::InvokeBody.
+  try {
+    task();
+  } catch (const std::exception& e) {
+    CFL_CHECK(false) << " — TaskPool task threw: " << e.what();
+  } catch (...) {
+    CFL_CHECK(false) << " — TaskPool task threw a non-std::exception";
+  }
+}
+
+void TaskPool::Submit(std::function<void()> task) {
+  CFL_CHECK(task != nullptr);
+  {
+    MutexLock lock(mu_);
+    CFL_CHECK(!shutdown_) << " — Submit after TaskPool shutdown";
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.NotifyOne();
+}
+
+uint32_t TaskPool::PendingTasks() {
+  MutexLock lock(mu_);
+  return CheckedU32(queue_.size()) + in_flight_;
+}
+
+void TaskPool::WorkerLoop() noexcept {
+  while (true) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !shutdown_) task_ready_.Wait(mu_);
+      // Drain-on-shutdown: exit only once the queue is empty, so every
+      // submitted task runs and latch waiters cannot be stranded.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    InvokeTask(task);
+    {
+      MutexLock lock(mu_);
+      --in_flight_;
+    }
+  }
+}
+
+void TaskLatch::CountDown() {
+  bool release;
+  {
+    MutexLock lock(mu_);
+    CFL_CHECK(remaining_ > 0) << " — TaskLatch counted below zero";
+    release = (--remaining_ == 0);
+  }
+  if (release) done_.NotifyAll();
+}
+
+void TaskLatch::Wait() {
+  MutexLock lock(mu_);
+  while (remaining_ != 0) done_.Wait(mu_);
+}
+
+}  // namespace cfl

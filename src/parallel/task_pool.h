@@ -1,0 +1,105 @@
+// Shared task-queue pool for concurrent multi-query scheduling.
+//
+// ThreadPool (thread_pool.h) is a fork-join parallel region: one Run at a
+// time, every worker executes the same body, the caller blocks at the join
+// barrier. That is the right shape for one query using the whole machine —
+// and exactly the wrong shape for a resident server, where many queries
+// must share the same workers without monopolizing them. `TaskPool` is the
+// complementary primitive: callers Submit independent tasks, N workers
+// drain the FIFO, and nothing ever blocks a submitter. Per-query fan-out is
+// rebuilt on top with `TaskLatch` (a countdown the query's session waits
+// on), so a query granted a quota of k enqueues k shard tasks and waits for
+// its own latch while other queries' shards interleave on the same workers.
+//
+// Lock discipline matches ThreadPool: every cross-thread field is
+// CFL_GUARDED_BY the one pool mutex, Clang TSA-checked; task bodies must
+// not throw (same fail-fast boundary as ThreadPool::InvokeBody).
+//
+// Unlike ThreadPool, size 1 still spawns one worker thread: Submit must
+// return immediately even when the pool is busy (a server's accept loop
+// cannot run queries inline).
+
+#ifndef CFL_PARALLEL_TASK_POOL_H_
+#define CFL_PARALLEL_TASK_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "check/thread_annotations.h"
+
+namespace cfl {
+
+class TaskPool {
+ public:
+  // `threads` == 0 is clamped to 1.
+  explicit TaskPool(uint32_t threads);
+
+  // Stops accepting tasks, drains every task already queued, joins.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  uint32_t size() const { return size_; }
+
+  // Enqueues `task` for execution on some worker. Never blocks on task
+  // execution. Must not be called during/after destruction (CFL_CHECK).
+  // The task must not throw: a throwing task is caught at the worker
+  // boundary and fails fast via CFL_CHECK with the message.
+  void Submit(std::function<void()> task) CFL_EXCLUDES(mu_);
+
+  // Tasks submitted and not yet finished (queued + running). Advisory: the
+  // value is stale the moment it returns; the admission controller uses it
+  // only to size quotas. Non-const because it takes the pool mutex (the
+  // lint's mutable-member rule rightly bans a mutable Mutex).
+  uint32_t PendingTasks() CFL_EXCLUDES(mu_);
+
+ private:
+  // noexcept: runs on the worker thread outside the InvokeTask boundary
+  // (same rationale as ThreadPool::WorkerLoop).
+  void WorkerLoop() noexcept CFL_EXCLUDES(mu_);
+
+  // The worker boundary: invokes the task and converts any escaped
+  // exception into a fail-fast CFL_CHECK carrying the message.
+  static void InvokeTask(const std::function<void()>& task) noexcept;
+
+  const uint32_t size_;
+
+  Mutex mu_;
+  CondVar task_ready_;  // signaled under mu_: new task or shutdown
+
+  std::deque<std::function<void()>> queue_ CFL_GUARDED_BY(mu_);
+  uint32_t in_flight_ CFL_GUARDED_BY(mu_) = 0;  // tasks currently running
+  bool shutdown_ CFL_GUARDED_BY(mu_) = false;
+
+  std::vector<std::thread> workers_;
+};
+
+// Countdown completion latch: a query that fans k shard tasks out onto a
+// shared TaskPool constructs a TaskLatch(k), each shard calls CountDown()
+// as it finishes, and the query's session thread Wait()s — the fork-join
+// barrier of ThreadPool::Run, rebuilt per query on shared workers.
+class TaskLatch {
+ public:
+  explicit TaskLatch(uint32_t count) : remaining_(count) {}
+
+  TaskLatch(const TaskLatch&) = delete;
+  TaskLatch& operator=(const TaskLatch&) = delete;
+
+  void CountDown() CFL_EXCLUDES(mu_);
+
+  // Blocks until CountDown has been called `count` times.
+  void Wait() CFL_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  CondVar done_;  // signaled under mu_ when remaining_ hits zero
+  uint32_t remaining_ CFL_GUARDED_BY(mu_);
+};
+
+}  // namespace cfl
+
+#endif  // CFL_PARALLEL_TASK_POOL_H_

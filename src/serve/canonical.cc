@@ -1,0 +1,204 @@
+#include "serve/canonical.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "check/check.h"
+
+namespace cfl::serve {
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed 64-bit mixing.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Combine(uint64_t seed, uint64_t value) {
+  return Mix(seed ^ Mix(value));
+}
+
+// One refinement round: color'[v] = hash(color[v], sorted neighbor colors).
+// Sorting makes the digest independent of adjacency-list order; hashing the
+// sorted sequence *positionally* keeps multiset multiplicities significant.
+std::vector<uint64_t> RefineOnce(const Graph& g,
+                                 const std::vector<uint64_t>& color) {
+  std::vector<uint64_t> next(color.size());
+  std::vector<uint64_t> around;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    around.clear();
+    for (VertexId u : g.Neighbors(v)) around.push_back(color[u]);
+    std::sort(around.begin(), around.end());
+    uint64_t h = Combine(0x5ca1ab1eULL, color[v]);
+    for (uint64_t c : around) h = Combine(h, c);
+    next[v] = h;
+  }
+  return next;
+}
+
+size_t DistinctCount(std::vector<uint64_t> colors) {
+  std::sort(colors.begin(), colors.end());
+  return static_cast<size_t>(
+      std::unique(colors.begin(), colors.end()) - colors.begin());
+}
+
+}  // namespace
+
+std::vector<uint64_t> WlColors(const Graph& g) {
+  std::vector<uint64_t> color(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    color[v] = Combine(Combine(Combine(0xc0ffeeULL, g.label(v)), g.degree(v)),
+                       g.multiplicity(v));
+  }
+  // Refine until the partition stops splitting. |V| rounds always suffice
+  // (each round either splits a class or reaches the fixed point), and
+  // queries are small, so no tighter bound is needed.
+  size_t classes = DistinctCount(color);
+  for (VertexId round = 0; round < g.NumVertices(); ++round) {
+    std::vector<uint64_t> next = RefineOnce(g, color);
+    size_t next_classes = DistinctCount(next);
+    color = std::move(next);
+    if (next_classes == classes) break;
+    classes = next_classes;
+  }
+  return color;
+}
+
+uint64_t CanonicalQueryHash(const Graph& g) {
+  std::vector<uint64_t> color = WlColors(g);
+  // Fold the color *multiset* (sorted sequence) so vertex numbering cannot
+  // leak into the digest.
+  std::sort(color.begin(), color.end());
+  uint64_t h = Combine(Combine(0xfacadeULL, g.NumVertices()), g.NumEdges());
+  for (uint64_t c : color) h = Combine(h, c);
+  return h;
+}
+
+namespace {
+
+// Backtracking state for FindIsomorphism.
+struct IsoSearch {
+  const Graph& a;
+  const Graph& b;
+  const std::vector<uint64_t>& color_a;
+  const std::vector<uint64_t>& color_b;
+  const std::vector<VertexId>& order;  // vertices of `a`, most-constrained 1st
+  std::vector<VertexId> map;           // a-vertex -> b-vertex or kInvalid
+  std::vector<bool> used;              // b-vertex already an image
+
+  bool Feasible(VertexId va, VertexId vb) const {
+    if (used[vb]) return false;
+    if (color_a[va] != color_b[vb]) return false;
+    if (a.label(va) != b.label(vb)) return false;
+    if (a.degree(va) != b.degree(vb)) return false;
+    if (a.multiplicity(va) != b.multiplicity(vb)) return false;
+    // Every already-mapped a-neighbor must be a b-neighbor of vb. Checking
+    // edge preservation alone suffices for full isomorphism: a vertex
+    // bijection preserving all |E(a)| edges into a graph with |E(b)| ==
+    // |E(a)| edges is automatically edge-surjective.
+    for (VertexId ua : a.Neighbors(va)) {
+      if (map[ua] != kInvalidVertex && !b.HasEdge(map[ua], vb)) return false;
+    }
+    return true;
+  }
+
+  bool Extend(size_t depth) {
+    if (depth == order.size()) return true;
+    VertexId va = order[depth];
+    for (VertexId vb = 0; vb < b.NumVertices(); ++vb) {
+      if (!Feasible(va, vb)) continue;
+      map[va] = vb;
+      used[vb] = true;
+      if (Extend(depth + 1)) return true;
+      map[va] = kInvalidVertex;
+      used[vb] = false;
+    }
+    return false;
+  }
+};
+
+// Most-constrained-first matching order over `a`: BFS from the vertex with
+// the rarest (color, degree) signature so later vertices are anchored by
+// mapped neighbors; disconnected queries fall back to appending remaining
+// vertices by rarity.
+std::vector<VertexId> MatchOrder(const Graph& a,
+                                 const std::vector<uint64_t>& color_a) {
+  const VertexId n = a.NumVertices();
+  std::vector<uint64_t> freq_key(n);
+  {
+    std::vector<uint64_t> sorted(color_a);
+    std::sort(sorted.begin(), sorted.end());
+    for (VertexId v = 0; v < n; ++v) {
+      auto range = std::equal_range(sorted.begin(), sorted.end(), color_a[v]);
+      // Rare colors first, ties broken toward high degree.
+      freq_key[v] = (static_cast<uint64_t>(range.second - range.first) << 32) |
+                    (0xffffffffULL - a.degree(v));
+    }
+  }
+  std::vector<VertexId> by_rarity(n);
+  for (VertexId v = 0; v < n; ++v) by_rarity[v] = v;
+  std::sort(by_rarity.begin(), by_rarity.end(), [&](VertexId x, VertexId y) {
+    if (freq_key[x] != freq_key[y]) return freq_key[x] < freq_key[y];
+    return x < y;
+  });
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> frontier;
+  for (VertexId start : by_rarity) {
+    if (seen[start]) continue;
+    // BFS component by component, rarest unvisited vertex as the root.
+    frontier.assign(1, start);
+    seen[start] = true;
+    size_t head = 0;
+    while (head < frontier.size()) {
+      VertexId v = frontier[head++];
+      order.push_back(v);
+      for (VertexId u : a.Neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          frontier.push_back(u);
+        }
+      }
+    }
+  }
+  CFL_DCHECK(order.size() == n);
+  return order;
+}
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> FindIsomorphism(const Graph& a,
+                                                     const Graph& b) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return std::nullopt;
+  }
+  if (a.NumVertices() == 0) return std::vector<VertexId>{};
+
+  std::vector<uint64_t> color_a = WlColors(a);
+  std::vector<uint64_t> color_b = WlColors(b);
+  {
+    // Color multisets must agree, or no bijection can respect the colors.
+    std::vector<uint64_t> sa(color_a);
+    std::vector<uint64_t> sb(color_b);
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    if (sa != sb) return std::nullopt;
+  }
+
+  std::vector<VertexId> order = MatchOrder(a, color_a);
+  IsoSearch search{a,
+                   b,
+                   color_a,
+                   color_b,
+                   order,
+                   std::vector<VertexId>(a.NumVertices(), kInvalidVertex),
+                   std::vector<bool>(b.NumVertices(), false)};
+  if (!search.Extend(0)) return std::nullopt;
+  return std::move(search.map);
+}
+
+}  // namespace cfl::serve

@@ -1,0 +1,47 @@
+// Canonical query forms for the plan cache.
+//
+// The plan/CPI cache must give isomorphic-but-relabeled queries one shared
+// PreparedQuery. Keys are therefore a *canonical hash*: iterated
+// degree/label refinement (1-dimensional Weisfeiler-Leman color refinement
+// seeded with (label, degree)), folded into one order-independent digest.
+// Vertex numbering cannot influence the hash, so any two isomorphic queries
+// collide by construction.
+//
+// WL refinement is not a complete isomorphism invariant (regular
+// non-isomorphic graphs can share a hash), so the hash only selects a
+// bucket: the cache confirms a hit by finding an actual isomorphism onto
+// the bucket's representative query with `FindIsomorphism`, which doubles
+// as the vertex remap needed to translate streamed embeddings back into
+// the caller's numbering. A hash collision between non-isomorphic queries
+// is therefore a performance event, never a correctness event.
+
+#ifndef CFL_SERVE_CANONICAL_H_
+#define CFL_SERVE_CANONICAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfl::serve {
+
+// Stable per-vertex WL colors after refinement to a fixed point (at most
+// |V| rounds). Isomorphic graphs yield identical color multisets, and
+// corresponding vertices get identical colors.
+std::vector<uint64_t> WlColors(const Graph& g);
+
+// Order-independent canonical hash of (|V|, |E|, refined color multiset).
+// Equal for isomorphic graphs; unequal with high probability otherwise.
+uint64_t CanonicalQueryHash(const Graph& g);
+
+// An isomorphism from `a` onto `b` (result[va] = vb) if one exists.
+// Backtracking seeded and pruned by the WL colors, so the common cases —
+// actual relabelings of cached queries — resolve near-linearly. Both
+// graphs are expected to be query-sized (tens to hundreds of vertices).
+std::optional<std::vector<VertexId>> FindIsomorphism(const Graph& a,
+                                                     const Graph& b);
+
+}  // namespace cfl::serve
+
+#endif  // CFL_SERVE_CANONICAL_H_

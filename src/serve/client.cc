@@ -1,0 +1,176 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "graph/graph_io.h"
+
+namespace cfl::serve {
+
+ServeClient::~ServeClient() { Close(); }
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+bool ServeClient::Connect(const std::string& socket_path) {
+  Close();
+  fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path empty or longer than sun_path";
+    Close();
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    error_ = std::string("connect: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool ServeClient::SendAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ServeClient::ReadLine(std::string* line) {
+  while (true) {
+    size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      error_ = n == 0 ? "connection closed by server"
+                      : std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+ServeClient::Reply ServeClient::RunQuery(const Graph& query, QueryMode mode,
+                                         const MatchLimits& limits) {
+  Reply reply;
+  if (fd_ < 0) {
+    reply.error = "not connected";
+    return reply;
+  }
+  RequestHeader header;
+  header.kind = RequestKind::kQuery;
+  header.mode = mode;
+  header.limits = limits;
+
+  std::ostringstream request;
+  request << FormatRequestHeader(header) << '\n';
+  WriteGraph(query, request);
+  request << "END\n";
+  if (!SendAll(request.str())) {
+    reply.error = error_;
+    return reply;
+  }
+
+  std::string line;
+  while (true) {
+    if (!ReadLine(&line)) {
+      reply.error = error_;
+      return reply;
+    }
+    if (line.rfind("EMB", 0) == 0) {
+      std::optional<Embedding> embedding = ParseEmbeddingLine(line);
+      if (!embedding.has_value()) {
+        reply.error = "malformed EMB line: '" + line + "'";
+        return reply;
+      }
+      reply.embeddings.push_back(*std::move(embedding));
+      continue;
+    }
+    if (line.rfind("ERR", 0) == 0) {
+      reply.error = line.size() > 4 ? line.substr(4) : "server error";
+      return reply;
+    }
+    std::string parse_error;
+    std::optional<QueryOutcome> outcome = ParseResultLine(line, &parse_error);
+    if (!outcome.has_value()) {
+      reply.error = parse_error;
+      return reply;
+    }
+    reply.outcome = *outcome;
+    reply.ok = true;
+    return reply;
+  }
+}
+
+ServeClient::Reply ServeClient::Count(const Graph& query,
+                                      const MatchLimits& limits) {
+  return RunQuery(query, QueryMode::kCount, limits);
+}
+
+ServeClient::Reply ServeClient::Stream(const Graph& query,
+                                       const MatchLimits& limits) {
+  return RunQuery(query, QueryMode::kStream, limits);
+}
+
+bool ServeClient::Ping() {
+  if (fd_ < 0 || !SendAll("PING\n")) return false;
+  std::string line;
+  return ReadLine(&line) && line == "PONG";
+}
+
+std::map<std::string, uint64_t> ServeClient::Stats() {
+  std::map<std::string, uint64_t> stats;
+  if (fd_ < 0 || !SendAll("STATS\n")) return stats;
+  std::string line;
+  if (!ReadLine(&line) || line.rfind("STATS", 0) != 0) return stats;
+  std::istringstream in(line);
+  std::string token;
+  in >> token;  // "STATS"
+  while (in >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    stats[token.substr(0, eq)] =
+        std::strtoull(token.c_str() + eq + 1, nullptr, 10);
+  }
+  return stats;
+}
+
+bool ServeClient::Shutdown() {
+  if (fd_ < 0 || !SendAll("SHUTDOWN\n")) return false;
+  std::string line;
+  return ReadLine(&line) && line == "BYE";
+}
+
+}  // namespace cfl::serve

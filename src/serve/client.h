@@ -1,0 +1,72 @@
+// Blocking client for the cfl_serve line protocol.
+//
+// One connection, sequential request/response exchanges — the concurrency
+// in the serving stack lives server-side; load generators open several
+// clients. Used by bench/bench_serve_load.cc, tests/serve_test.cc, and the
+// CI smoke lane; also handy interactively from gdb or small tools.
+
+#ifndef CFL_SERVE_CLIENT_H_
+#define CFL_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "match/embedding.h"
+#include "serve/protocol.h"
+
+namespace cfl::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Connects to a listening cfl_serve socket; false on failure (error()).
+  bool Connect(const std::string& socket_path);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Transport-level error text of the last failed call.
+  const std::string& error() const { return error_; }
+
+  struct Reply {
+    bool ok = false;       // a RESULT line arrived
+    std::string error;     // ERR payload or transport failure
+    QueryOutcome outcome;  // valid when ok
+    std::vector<Embedding> embeddings;  // stream mode only
+  };
+
+  // Counting query: server-side parallel execution, one RESULT line back.
+  Reply Count(const Graph& query, const MatchLimits& limits = {});
+
+  // Streaming query: collects the EMB lines (in the caller's vertex
+  // numbering) plus the final RESULT.
+  Reply Stream(const Graph& query, const MatchLimits& limits = {});
+
+  bool Ping();
+
+  // Raw key=value counters from the STATS line (empty map on failure).
+  std::map<std::string, uint64_t> Stats();
+
+  // Sends SHUTDOWN; true once the server acknowledged with BYE.
+  bool Shutdown();
+
+ private:
+  Reply RunQuery(const Graph& query, QueryMode mode, const MatchLimits&);
+  bool SendAll(const std::string& data);
+  bool ReadLine(std::string* line);
+
+  int fd_ = -1;
+  std::string buf_;
+  std::string error_;
+};
+
+}  // namespace cfl::serve
+
+#endif  // CFL_SERVE_CLIENT_H_

@@ -1,0 +1,106 @@
+#include "serve/plan_cache.h"
+
+#include <optional>
+#include <utility>
+
+#include "check/check.h"
+#include "serve/canonical.h"
+
+namespace cfl::serve {
+
+PlanCache::PlanCache(uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+uint64_t PlanCache::PlanBytes(const Graph& query, const PreparedQuery& plan) {
+  // The CPI arena dominates; the representative graph and the order/tree
+  // vectors are charged approximately (exactness is not needed for LRU
+  // pressure, only monotonicity in actual footprint).
+  uint64_t bytes = plan.cpi.MemoryBytes();
+  bytes += static_cast<uint64_t>(query.NumVertices()) * sizeof(VertexId) * 8;
+  bytes += query.NumEdges() * sizeof(VertexId) * 2;
+  bytes += sizeof(PreparedQuery) + sizeof(Entry);
+  return bytes;
+}
+
+PlanCache::Hit PlanCache::Find(const Graph& query) {
+  if (!enabled()) return {};
+  const uint64_t hash = CanonicalQueryHash(query);
+
+  MutexLock lock(mu_);
+  auto range = index_.equal_range(hash);
+  for (auto it = range.first; it != range.second; ++it) {
+    std::list<Entry>::iterator entry = it->second;
+    std::optional<std::vector<VertexId>> iso =
+        FindIsomorphism(query, *entry->representative);
+    if (!iso.has_value()) {
+      ++stats_.collisions;
+      continue;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, entry);  // touch: move to MRU front
+    return Hit{entry->plan, *std::move(iso), entry->representative};
+  }
+  ++stats_.misses;
+  return {};
+}
+
+std::shared_ptr<const PreparedQuery> PlanCache::Insert(const Graph& query,
+                                                       PreparedQuery plan) {
+  auto shared = std::make_shared<const PreparedQuery>(std::move(plan));
+  if (!enabled()) return shared;
+
+  const uint64_t hash = CanonicalQueryHash(query);
+  const uint64_t bytes = PlanBytes(query, *shared);
+  if (bytes > max_bytes_) return shared;  // would evict everything: skip
+
+  MutexLock lock(mu_);
+  // A racing prepare of an isomorphic query may have populated the bucket
+  // already; keep the resident entry (its LRU position is warm) and hand
+  // the caller its own plan uncached.
+  auto range = index_.equal_range(hash);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (FindIsomorphism(query, *it->second->representative).has_value()) {
+      return shared;
+    }
+  }
+
+  lru_.push_front(Entry{hash, std::make_shared<const Graph>(query), shared,
+                        bytes});
+  index_.emplace(hash, lru_.begin());
+  bytes_ += bytes;
+  EvictIfOver();
+  return shared;
+}
+
+void PlanCache::EvictIfOver() {
+  while (bytes_ > max_bytes_) {
+    CFL_CHECK(!lru_.empty()) << " — cache byte accounting drifted";
+    std::list<Entry>::iterator victim = std::prev(lru_.end());
+    auto range = index_.equal_range(victim->hash);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == victim) {
+        index_.erase(it);
+        break;
+      }
+    }
+    bytes_ -= victim->bytes;
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+PlanCacheStats PlanCache::Stats() {
+  MutexLock lock(mu_);
+  PlanCacheStats out = stats_;
+  out.bytes = bytes_;
+  out.entries = lru_.size();
+  return out;
+}
+
+void PlanCache::Clear() {
+  MutexLock lock(mu_);
+  index_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace cfl::serve

@@ -1,0 +1,222 @@
+#include "serve/protocol.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace cfl::serve {
+
+namespace {
+
+std::vector<std::string> SplitWs(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+// "key=value" -> (key, value); tokens without '=' parse as (token, "").
+std::pair<std::string, std::string> SplitKv(const std::string& token) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos) return {token, ""};
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::string FormatF64(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<RequestHeader> ParseRequestHeader(const std::string& line,
+                                                std::string* error) {
+  std::vector<std::string> tokens = SplitWs(line);
+  if (tokens.empty()) {
+    if (error != nullptr) *error = "empty request line";
+    return std::nullopt;
+  }
+  RequestHeader header;
+  if (tokens[0] == "PING") {
+    header.kind = RequestKind::kPing;
+    return header;
+  }
+  if (tokens[0] == "STATS") {
+    header.kind = RequestKind::kStats;
+    return header;
+  }
+  if (tokens[0] == "SHUTDOWN") {
+    header.kind = RequestKind::kShutdown;
+    return header;
+  }
+  if (tokens[0] != "QUERY") {
+    if (error != nullptr) *error = "unknown request '" + tokens[0] + "'";
+    return std::nullopt;
+  }
+  header.kind = RequestKind::kQuery;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    auto [key, value] = SplitKv(tokens[i]);
+    if (key == "mode") {
+      if (value == "count") {
+        header.mode = QueryMode::kCount;
+      } else if (value == "stream") {
+        header.mode = QueryMode::kStream;
+      } else {
+        if (error != nullptr) *error = "bad mode '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (key == "max") {
+      uint64_t max = 0;
+      if (!ParseU64(value, &max) || max == 0) {
+        if (error != nullptr) *error = "bad max '" + value + "'";
+        return std::nullopt;
+      }
+      header.limits.max_embeddings = max;
+    } else if (key == "time") {
+      double seconds = 0.0;
+      if (!ParseF64(value, &seconds) || seconds <= 0.0) {
+        if (error != nullptr) *error = "bad time '" + value + "'";
+        return std::nullopt;
+      }
+      header.limits.time_limit_seconds = seconds;
+    } else {
+      if (error != nullptr) *error = "unknown QUERY option '" + key + "'";
+      return std::nullopt;
+    }
+  }
+  return header;
+}
+
+std::string FormatRequestHeader(const RequestHeader& header) {
+  switch (header.kind) {
+    case RequestKind::kPing:
+      return "PING";
+    case RequestKind::kStats:
+      return "STATS";
+    case RequestKind::kShutdown:
+      return "SHUTDOWN";
+    case RequestKind::kQuery:
+      break;
+  }
+  std::string line = "QUERY mode=";
+  line += header.mode == QueryMode::kStream ? "stream" : "count";
+  if (header.limits.max_embeddings != kNoLimit) {
+    line += " max=" + std::to_string(header.limits.max_embeddings);
+  }
+  if (header.limits.time_limit_seconds > 0.0) {
+    line += " time=" + FormatF64(header.limits.time_limit_seconds);
+  }
+  return line;
+}
+
+std::string FormatResultLine(const QueryOutcome& outcome) {
+  std::string line = "RESULT embeddings=" + std::to_string(outcome.embeddings);
+  line += " reached_limit=" + std::string(outcome.reached_limit ? "1" : "0");
+  line += " timed_out=" + std::string(outcome.timed_out ? "1" : "0");
+  switch (outcome.cache) {
+    case QueryOutcome::Cache::kHit:
+      line += " cache=hit";
+      break;
+    case QueryOutcome::Cache::kMiss:
+      line += " cache=miss";
+      break;
+    case QueryOutcome::Cache::kOff:
+      line += " cache=off";
+      break;
+  }
+  line += " prepare_ms=" + FormatF64(outcome.prepare_ms);
+  line += " enum_ms=" + FormatF64(outcome.enum_ms);
+  line += " total_ms=" + FormatF64(outcome.total_ms);
+  line += " quota=" + std::to_string(outcome.quota);
+  return line;
+}
+
+std::optional<QueryOutcome> ParseResultLine(const std::string& line,
+                                            std::string* error) {
+  std::vector<std::string> tokens = SplitWs(line);
+  if (tokens.empty() || tokens[0] != "RESULT") {
+    if (error != nullptr) *error = "not a RESULT line: '" + line + "'";
+    return std::nullopt;
+  }
+  QueryOutcome outcome;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    auto [key, value] = SplitKv(tokens[i]);
+    uint64_t u = 0;
+    double f = 0.0;
+    if (key == "embeddings" && ParseU64(value, &u)) {
+      outcome.embeddings = u;
+    } else if (key == "reached_limit" && ParseU64(value, &u)) {
+      outcome.reached_limit = u != 0;
+    } else if (key == "timed_out" && ParseU64(value, &u)) {
+      outcome.timed_out = u != 0;
+    } else if (key == "cache") {
+      if (value == "hit") {
+        outcome.cache = QueryOutcome::Cache::kHit;
+      } else if (value == "miss") {
+        outcome.cache = QueryOutcome::Cache::kMiss;
+      } else if (value == "off") {
+        outcome.cache = QueryOutcome::Cache::kOff;
+      } else {
+        if (error != nullptr) *error = "bad cache state '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (key == "prepare_ms" && ParseF64(value, &f)) {
+      outcome.prepare_ms = f;
+    } else if (key == "enum_ms" && ParseF64(value, &f)) {
+      outcome.enum_ms = f;
+    } else if (key == "total_ms" && ParseF64(value, &f)) {
+      outcome.total_ms = f;
+    } else if (key == "quota" && ParseU64(value, &u)) {
+      outcome.quota = static_cast<uint32_t>(u);
+    } else {
+      if (error != nullptr) *error = "bad RESULT field '" + tokens[i] + "'";
+      return std::nullopt;
+    }
+  }
+  return outcome;
+}
+
+std::string FormatEmbeddingLine(const Embedding& embedding) {
+  std::string line = "EMB";
+  for (VertexId v : embedding) {
+    line += ' ';
+    line += std::to_string(v);
+  }
+  return line;
+}
+
+std::optional<Embedding> ParseEmbeddingLine(const std::string& line) {
+  std::vector<std::string> tokens = SplitWs(line);
+  if (tokens.empty() || tokens[0] != "EMB") return std::nullopt;
+  Embedding embedding;
+  embedding.reserve(tokens.size() - 1);
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    uint64_t v = 0;
+    if (!ParseU64(tokens[i], &v)) return std::nullopt;
+    embedding.push_back(static_cast<VertexId>(v));
+  }
+  return embedding;
+}
+
+}  // namespace cfl::serve

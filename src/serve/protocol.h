@@ -1,0 +1,79 @@
+// Line-delimited wire protocol between cfl_serve and its clients.
+//
+// Requests (client -> server), one per exchange on the connection:
+//
+//   PING
+//   STATS
+//   SHUTDOWN
+//   QUERY mode=<count|stream> [max=<N>] [time=<seconds>]
+//   <graph lines: t / v / e, the graph_io.h text format>
+//   END
+//
+// Responses (server -> client):
+//
+//   PONG
+//   STATS queries=<N> cache_hits=<N> ... active=<N>     (one line)
+//   BYE                                                  (then close)
+//   EMB <v0> <v1> ... <vk>      zero or more, stream mode only; position i
+//                               is the data vertex matched to query vertex i
+//   RESULT embeddings=<N> reached_limit=<0|1> timed_out=<0|1>
+//          cache=<hit|miss|off> prepare_ms=<f> enum_ms=<f> total_ms=<f>
+//          quota=<N>            always the final line of a QUERY exchange
+//   ERR <message>               malformed request; connection stays usable
+//
+// Everything is ASCII lines so the protocol can be driven by hand
+// (`socat - UNIX-CONNECT:/tmp/cfl.sock`), logged as-is, and diffed in CI.
+// This header is pure parse/format — no sockets — so the difftest-style
+// tests can round-trip messages without a running server.
+
+#ifndef CFL_SERVE_PROTOCOL_H_
+#define CFL_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "match/embedding.h"
+
+namespace cfl::serve {
+
+enum class RequestKind { kQuery, kPing, kStats, kShutdown };
+enum class QueryMode { kCount, kStream };
+
+struct RequestHeader {
+  RequestKind kind = RequestKind::kPing;
+  QueryMode mode = QueryMode::kCount;
+  // Defaults: unlimited — the scheduler's admission clamp applies either
+  // way, so "no limit given" means "the server's ceiling".
+  MatchLimits limits;
+};
+
+// Parses one request line ("QUERY ...", "PING", ...). For kQuery the graph
+// lines follow on the connection until "END"; the caller reads those.
+// Returns nullopt and fills *error on malformed input.
+std::optional<RequestHeader> ParseRequestHeader(const std::string& line,
+                                                std::string* error);
+std::string FormatRequestHeader(const RequestHeader& header);
+
+// The terminal line of every QUERY exchange.
+struct QueryOutcome {
+  uint64_t embeddings = 0;
+  bool reached_limit = false;
+  bool timed_out = false;
+  enum class Cache { kHit, kMiss, kOff } cache = Cache::kOff;
+  double prepare_ms = 0.0;  // 0 on cache hits: no prepare ran
+  double enum_ms = 0.0;
+  double total_ms = 0.0;
+  uint32_t quota = 0;  // worker quota granted (0 for streamed queries)
+};
+
+std::string FormatResultLine(const QueryOutcome& outcome);
+std::optional<QueryOutcome> ParseResultLine(const std::string& line,
+                                            std::string* error);
+
+std::string FormatEmbeddingLine(const Embedding& embedding);
+std::optional<Embedding> ParseEmbeddingLine(const std::string& line);
+
+}  // namespace cfl::serve
+
+#endif  // CFL_SERVE_PROTOCOL_H_

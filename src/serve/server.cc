@@ -1,0 +1,367 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "check/check.h"
+#include "graph/graph_io.h"
+#include "match/iterator.h"
+#include "obs/clock.h"
+
+namespace cfl::serve {
+
+namespace {
+
+using obs::WallTimer;
+
+// Writes the whole buffer; MSG_NOSIGNAL so a vanished client surfaces as
+// EPIPE (drop the connection) instead of killing the process.
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// Buffered line reads from a connection; one instance per session task, so
+// no locking. Forward-declared in server.h.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  // Next '\n'-terminated line (terminator and any '\r' stripped). False on
+  // EOF or error with no complete buffered line.
+  bool ReadLine(std::string* line) {
+    while (true) {
+      size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+QueryServer::QueryServer(const Graph& data, const ServeOptions& options)
+    : data_(data),
+      options_(options),
+      matcher_(data),
+      cache_(options.cache_bytes),
+      scheduler_(data,
+                 SchedulerOptions{options.workers, options.max_quota,
+                                  options.max_concurrent_queries,
+                                  options.max_time_limit_seconds,
+                                  options.max_embeddings}),
+      session_pool_(std::make_unique<TaskPool>(options.sessions)) {}
+
+QueryServer::~QueryServer() {
+  RequestShutdown();
+  ShutdownAllConnections();
+  session_pool_.reset();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  for (int fd : wake_pipe_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void QueryServer::RequestShutdown() {
+  if (stop_.exchange(true)) return;
+  if (wake_pipe_[1] >= 0) {
+    char byte = 1;
+    ssize_t rc = write(wake_pipe_[1], &byte, 1);
+    (void)rc;  // the poll loop also rechecks stop_; a full pipe is fine
+  }
+}
+
+void QueryServer::RegisterConnection(int fd) {
+  MutexLock lock(conn_mu_);
+  open_fds_.insert(fd);
+}
+
+void QueryServer::UnregisterConnection(int fd) {
+  MutexLock lock(conn_mu_);
+  open_fds_.erase(fd);
+}
+
+void QueryServer::ShutdownAllConnections() {
+  MutexLock lock(conn_mu_);
+  // Socket-layer shutdown only: parked session reads observe EOF and each
+  // session closes its own fd on the way out.
+  for (int fd : open_fds_) shutdown(fd, SHUT_RDWR);
+}
+
+void QueryServer::CountQuery(bool stream) {
+  MutexLock lock(counter_mu_);
+  ++counters_.queries;
+  if (stream) ++counters_.stream_queries;
+}
+
+void QueryServer::CountError() {
+  MutexLock lock(counter_mu_);
+  ++counters_.errors;
+}
+
+int QueryServer::Serve() {
+  CFL_CHECK(session_pool_ != nullptr) << " — Serve is single-shot";
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    last_error_ = ErrnoText("socket");
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    last_error_ = "socket path empty or longer than sun_path";
+    return -1;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  unlink(options_.socket_path.c_str());  // stale socket from a crashed run
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    last_error_ = ErrnoText("bind");
+    return -1;
+  }
+  if (listen(listen_fd_, 64) < 0) {
+    last_error_ = ErrnoText("listen");
+    return -1;
+  }
+  if (pipe(wake_pipe_) < 0) {
+    last_error_ = ErrnoText("pipe");
+    return -1;
+  }
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int ready = poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = ErrnoText("poll");
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // RequestShutdown woke us
+    if ((fds[0].revents & POLLIN) != 0) {
+      int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      {
+        MutexLock lock(counter_mu_);
+        ++counters_.connections;
+      }
+      session_pool_->Submit([this, fd] { HandleConnection(fd); });
+    }
+  }
+
+  close(listen_fd_);
+  listen_fd_ = -1;
+  unlink(options_.socket_path.c_str());
+  // Unblock parked sessions, then drain and join them so a clean Serve()
+  // return means no request is still in flight.
+  ShutdownAllConnections();
+  session_pool_.reset();
+  return 0;
+}
+
+void QueryServer::HandleConnection(int fd) {
+  RegisterConnection(fd);
+  LineReader reader(fd);
+  std::string line;
+  while (!stop_.load(std::memory_order_relaxed) && reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    std::string parse_error;
+    std::optional<RequestHeader> header =
+        ParseRequestHeader(line, &parse_error);
+    if (!header.has_value()) {
+      CountError();
+      if (!WriteAll(fd, "ERR " + parse_error + "\n")) break;
+      continue;
+    }
+    bool keep = true;
+    switch (header->kind) {
+      case RequestKind::kPing:
+        keep = WriteAll(fd, "PONG\n");
+        break;
+      case RequestKind::kStats:
+        keep = HandleStats(fd);
+        break;
+      case RequestKind::kShutdown:
+        WriteAll(fd, "BYE\n");
+        RequestShutdown();
+        keep = false;
+        break;
+      case RequestKind::kQuery:
+        // Session tasks run on a TaskPool, whose boundary fails fast on
+        // escaped exceptions — convert anything a request can throw (parse
+        // errors throw std::runtime_error, allocation can throw) into an
+        // ERR reply on this connection instead.
+        try {
+          keep = HandleQuery(fd, reader, *header);
+        } catch (const std::exception& e) {
+          CountError();
+          keep = WriteAll(fd, std::string("ERR internal: ") + e.what() + "\n");
+        }
+        break;
+    }
+    if (!keep) break;
+  }
+  UnregisterConnection(fd);
+  close(fd);
+}
+
+bool QueryServer::HandleQuery(int fd, LineReader& reader,
+                              const RequestHeader& header) {
+  // Collect the graph body (everything up to END) before parsing, so a
+  // malformed graph still leaves the connection aligned on request
+  // boundaries.
+  std::string body;
+  std::string line;
+  bool saw_end = false;
+  while (reader.ReadLine(&line)) {
+    if (line == "END") {
+      saw_end = true;
+      break;
+    }
+    body += line;
+    body += '\n';
+  }
+  if (!saw_end) return false;  // client vanished mid-request
+
+  Graph query;
+  try {
+    std::istringstream in(body);
+    query = ReadGraph(in);
+  } catch (const std::exception& e) {
+    CountError();
+    return WriteAll(fd, std::string("ERR bad query graph: ") + e.what() +
+                            "\n");
+  }
+
+  WallTimer total_timer;
+  QueryOutcome outcome;
+  outcome.cache = cache_.enabled() ? QueryOutcome::Cache::kMiss
+                                   : QueryOutcome::Cache::kOff;
+
+  std::shared_ptr<const PreparedQuery> plan;
+  std::shared_ptr<const Graph> plan_graph;  // graph in the plan's numbering
+  std::vector<VertexId> remap;  // client vertex -> plan vertex; empty = id
+  PlanCache::Hit hit = cache_.Find(query);
+  if (hit.plan != nullptr) {
+    outcome.cache = QueryOutcome::Cache::kHit;
+    plan = std::move(hit.plan);
+    plan_graph = std::move(hit.representative);
+    remap = std::move(hit.remap);
+  } else {
+    WallTimer prepare_timer;
+    {
+      // Prepare reuses the CPI builder's scratch: one at a time. Insert
+      // rides inside the critical section (lock order prepare_mu_ ->
+      // cache mutex; nothing takes them in the other order).
+      MutexLock lock(prepare_mu_);
+      plan = cache_.Insert(query, matcher_.Prepare(query));
+    }
+    outcome.prepare_ms = prepare_timer.Lap() * 1e3;
+    plan_graph = std::make_shared<const Graph>(query);
+  }
+
+  if (header.mode == QueryMode::kCount) {
+    uint32_t quota = 0;
+    WallTimer enum_timer;
+    MatchResult result =
+        scheduler_.Execute(*plan_graph, *plan, header.limits, &quota);
+    outcome.enum_ms = enum_timer.Lap() * 1e3;
+    outcome.embeddings = result.embeddings;
+    outcome.reached_limit = result.reached_limit;
+    outcome.timed_out = result.timed_out;
+    outcome.quota = quota;
+  } else {
+    // Streaming pulls embeddings on this session thread (the socket is the
+    // bottleneck, not enumeration) but still holds an admission slot so
+    // streams count against the server's concurrency budget.
+    AdmissionTicket ticket(scheduler_);
+    MatchLimits limits = scheduler_.ClampLimits(header.limits);
+    WallTimer enum_timer;
+    EmbeddingIterator it(data_, plan, limits);
+    Embedding embedding;
+    Embedding out;
+    while (it.Next(&embedding)) {
+      const Embedding* to_send = &embedding;
+      if (!remap.empty()) {
+        // Cached plan of an isomorphic query: embedding[] is indexed by
+        // *representative* vertices; translate to the client's numbering.
+        out.resize(embedding.size());
+        for (VertexId u = 0; u < out.size(); ++u) {
+          out[u] = embedding[remap[u]];
+        }
+        to_send = &out;
+      }
+      if (!WriteAll(fd, FormatEmbeddingLine(*to_send) + "\n")) return false;
+    }
+    outcome.enum_ms = enum_timer.Lap() * 1e3;
+    outcome.embeddings = it.produced();
+    outcome.reached_limit = it.reached_limit();
+    outcome.timed_out = it.timed_out();
+  }
+
+  outcome.total_ms = total_timer.Lap() * 1e3;
+  CountQuery(header.mode == QueryMode::kStream);
+  return WriteAll(fd, FormatResultLine(outcome) + "\n");
+}
+
+bool QueryServer::HandleStats(int fd) {
+  ServerCounters counters;
+  {
+    MutexLock lock(counter_mu_);
+    counters = counters_;
+  }
+  PlanCacheStats cache = cache_.Stats();
+  std::string line = "STATS";
+  line += " queries=" + std::to_string(counters.queries);
+  line += " stream_queries=" + std::to_string(counters.stream_queries);
+  line += " errors=" + std::to_string(counters.errors);
+  line += " connections=" + std::to_string(counters.connections);
+  line += " cache_hits=" + std::to_string(cache.hits);
+  line += " cache_misses=" + std::to_string(cache.misses);
+  line += " cache_evictions=" + std::to_string(cache.evictions);
+  line += " cache_collisions=" + std::to_string(cache.collisions);
+  line += " cache_bytes=" + std::to_string(cache.bytes);
+  line += " cache_entries=" + std::to_string(cache.entries);
+  line += " active=" + std::to_string(scheduler_.ActiveQueries());
+  line += " workers=" + std::to_string(scheduler_.workers());
+  line += "\n";
+  return WriteAll(fd, line);
+}
+
+}  // namespace cfl::serve

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/env.h"
 #include "harness/env.h"
 #include "harness/table.h"
 #include "match/engine.h"
@@ -48,30 +49,37 @@ TEST(FormatMillisTest, Precision) {
 }
 
 TEST(EnvTest, Defaults) {
-  unsetenv("CFL_BENCH_SCALE");
-  unsetenv("CFL_BENCH_QUERIES");
-  unsetenv("CFL_BENCH_TIME_LIMIT_S");
+  // The gtest runner is started without these knobs, so the process-env
+  // snapshot (check/env.h) has them absent and the fallbacks apply.
   EXPECT_DOUBLE_EQ(BenchScale(0.25), 0.25);
   EXPECT_EQ(BenchQueries(20), 20u);
   EXPECT_DOUBLE_EQ(BenchTimeLimitSeconds(20.0), 20.0);
 }
 
 TEST(EnvTest, ParsesValues) {
-  setenv("CFL_BENCH_SCALE", "full", 1);
-  EXPECT_DOUBLE_EQ(BenchScale(0.25), 1.0);
-  setenv("CFL_BENCH_SCALE", "0.5", 1);
-  EXPECT_DOUBLE_EQ(BenchScale(0.25), 0.5);
-  setenv("CFL_BENCH_SCALE", "junk", 1);
-  EXPECT_DOUBLE_EQ(BenchScale(0.25), 0.25);
-  unsetenv("CFL_BENCH_SCALE");
+  // Parsing is tested against the raw parsers: the knob accessors read the
+  // immutable startup snapshot, which a runtime setenv cannot reach.
+  EXPECT_DOUBLE_EQ(ParseBenchScale("full", 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(ParseBenchScale("0.5", 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(ParseBenchScale("junk", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(ParseBenchScale(nullptr, 0.25), 0.25);
 
-  setenv("CFL_BENCH_QUERIES", "7", 1);
-  EXPECT_EQ(BenchQueries(20), 7u);
-  unsetenv("CFL_BENCH_QUERIES");
+  EXPECT_EQ(ParsePositiveU32("7", 20), 7u);
+  EXPECT_EQ(ParsePositiveU32("-3", 20), 20u);
+  EXPECT_EQ(ParsePositiveU32(nullptr, 20), 20u);
 
-  setenv("CFL_BENCH_TIME_LIMIT_S", "2.5", 1);
-  EXPECT_DOUBLE_EQ(BenchTimeLimitSeconds(20.0), 2.5);
-  unsetenv("CFL_BENCH_TIME_LIMIT_S");
+  EXPECT_DOUBLE_EQ(ParsePositiveSeconds("2.5", 20.0), 2.5);
+  EXPECT_DOUBLE_EQ(ParsePositiveSeconds("0", 20.0), 20.0);
+}
+
+TEST(EnvTest, SnapshotIsImmuneToRuntimeSetenv) {
+  // The long-lived-process contract: once captured, CFL_* reads never touch
+  // the live environment again (no getenv on query paths).
+  cfl::env::Capture();
+  EXPECT_EQ(cfl::env::Get("CFL_TEST_AFTER_SNAPSHOT"), nullptr);
+  setenv("CFL_TEST_AFTER_SNAPSHOT", "1", 1);
+  EXPECT_EQ(cfl::env::Get("CFL_TEST_AFTER_SNAPSHOT"), nullptr);
+  unsetenv("CFL_TEST_AFTER_SNAPSHOT");
 }
 
 TEST(RunnerTest, AveragesOverQueries) {

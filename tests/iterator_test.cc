@@ -3,11 +3,13 @@
 
 #include "match/iterator.h"
 
+#include <memory>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "gen/query_gen.h"
+#include "match/cfl_match.h"
 #include "gen/synthetic.h"
 #include "graph/graph_builder.h"
 #include "test_util.h"
@@ -90,6 +92,84 @@ TEST_P(IteratorAgreementTest, YieldsExactlyTheBruteForceSet) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, IteratorAgreementTest,
                          ::testing::Range<uint64_t>(0, 20));
+
+// Regression (ISSUE 7): the iterator used to ignore MatchLimits entirely —
+// a streamed query could pin a server worker forever.
+TEST(EmbeddingIteratorTest, HonorsMaxEmbeddings) {
+  Graph g = Figure3Data();
+  Graph q = Figure3Query();  // 3 embeddings total
+  MatchLimits limits;
+  limits.max_embeddings = 2;
+  EmbeddingIterator it(g, q, limits);
+  Embedding m;
+  EXPECT_TRUE(it.Next(&m));
+  EXPECT_TRUE(it.Next(&m));
+  EXPECT_FALSE(it.Next(&m));  // capped, not exhausted
+  EXPECT_EQ(it.produced(), 2u);
+  EXPECT_TRUE(it.reached_limit());
+  EXPECT_FALSE(it.timed_out());
+
+  // Same tie-break as MatchResult: reached_limit iff the cap was hit, so a
+  // run that exhausts the space below the cap reports neither flag.
+  MatchLimits loose;
+  loose.max_embeddings = 100;
+  EmbeddingIterator all(g, q, loose);
+  while (all.Next(&m)) {
+  }
+  EXPECT_EQ(all.produced(), 3u);
+  EXPECT_FALSE(all.reached_limit());
+  EXPECT_FALSE(all.timed_out());
+}
+
+TEST(EmbeddingIteratorTest, HonorsDeadline) {
+  // A heavy workload (dense bipartite-ish blow-up) with an already-expired
+  // deadline: the very first Next() must give up and report timed_out.
+  GraphBuilder qb(6);
+  for (VertexId v = 0; v < 6; ++v) qb.SetLabel(v, v % 2);
+  for (VertexId a = 0; a < 6; a += 2) {
+    for (VertexId b = 1; b < 6; b += 2) qb.AddEdge(a, b);
+  }
+  Graph q = std::move(qb).Build();
+  GraphBuilder gb(40);
+  for (VertexId v = 0; v < 40; ++v) gb.SetLabel(v, v % 2);
+  for (VertexId a = 0; a < 40; a += 2) {
+    for (VertexId b = 1; b < 40; b += 2) gb.AddEdge(a, b);
+  }
+  Graph g = std::move(gb).Build();
+
+  MatchLimits limits;
+  limits.time_limit_seconds = 1e-9;
+  EmbeddingIterator it(g, q, limits);
+  Embedding m;
+  uint64_t pulled = 0;
+  // The deadline is checked on a coarse stride, so a handful of embeddings
+  // may slip out before expiry is noticed; the stream must still end in
+  // timed_out, far before the full (millions-sized) result set.
+  while (it.Next(&m)) ++pulled;
+  EXPECT_TRUE(it.timed_out());
+  EXPECT_LT(pulled, 1u << 20);
+  EXPECT_FALSE(it.Next(&m));  // stays finished
+}
+
+TEST(EmbeddingIteratorTest, StreamsFromSharedPreparedQuery) {
+  Graph g = Figure3Data();
+  Graph q = Figure3Query();
+  CflMatcher matcher(g);
+  auto prepared = std::make_shared<const PreparedQuery>(matcher.Prepare(q));
+
+  // Two iterators off the same plan: both yield the full set independently.
+  std::set<Embedding> direct;
+  Embedding m;
+  EmbeddingIterator fresh(g, q);
+  while (fresh.Next(&m)) direct.insert(m);
+
+  for (int i = 0; i < 2; ++i) {
+    EmbeddingIterator it(g, prepared);
+    std::set<Embedding> seen;
+    while (it.Next(&m)) seen.insert(m);
+    EXPECT_EQ(seen, direct);
+  }
+}
 
 TEST(EmbeddingIteratorTest, InterleavedIteratorsAreIndependent) {
   Graph g = Figure3Data();

@@ -1,0 +1,544 @@
+// Tests for the serving stack (ISSUE 7): canonical query hashing, the
+// plan/CPI cache, the shared-pool scheduler, the wire protocol, and the
+// socket server end to end.
+
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/query_gen.h"
+#include "gen/rng.h"
+#include "gen/synthetic.h"
+#include "graph/graph_builder.h"
+#include "match/cfl_match.h"
+#include "match/iterator.h"
+#include "parallel/task_pool.h"
+#include "serve/canonical.h"
+#include "serve/client.h"
+#include "serve/plan_cache.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "test_util.h"
+
+namespace cfl {
+namespace {
+
+using serve::CanonicalQueryHash;
+using serve::FindIsomorphism;
+using serve::PlanCache;
+using testing::Figure3Data;
+using testing::Figure3Query;
+
+// Random vertex renumbering of `q` — the workload the canonical hash must
+// collapse.
+Graph Relabel(const Graph& q, Rng& rng) {
+  const uint32_t n = q.NumVertices();
+  std::vector<VertexId> perm(n);
+  for (VertexId v = 0; v < n; ++v) perm[v] = v;
+  for (uint32_t i = n; i > 1; --i) std::swap(perm[i - 1], perm[rng.Below(i)]);
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) builder.SetLabel(perm[v], q.label(v));
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : q.Neighbors(v)) {
+      if (u > v) builder.AddEdge(perm[v], perm[u]);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph TestData() {
+  SyntheticOptions options;
+  options.num_vertices = 120;
+  options.average_degree = 5.0;
+  options.num_labels = 4;
+  options.seed = 99;
+  return MakeSynthetic(options);
+}
+
+std::vector<Graph> TestQueries(const Graph& data, uint32_t count,
+                               uint32_t size, uint64_t seed) {
+  return GenerateQuerySet(data, count, size, /*sparse=*/true, seed);
+}
+
+// ---- canonical hash -----------------------------------------------------
+
+TEST(CanonicalTest, HashInvariantUnderRelabeling) {
+  Graph data = TestData();
+  Rng rng(7);
+  // Property sweep: every relabeling of every generated query shares the
+  // original's hash, and FindIsomorphism recovers a certified mapping.
+  for (const Graph& q : TestQueries(data, 12, 8, 3)) {
+    const uint64_t hash = CanonicalQueryHash(q);
+    for (int rep = 0; rep < 4; ++rep) {
+      Graph relabeled = Relabel(q, rng);
+      EXPECT_EQ(CanonicalQueryHash(relabeled), hash);
+      auto iso = FindIsomorphism(relabeled, q);
+      ASSERT_TRUE(iso.has_value());
+      // Certify: bijective, label-preserving, edge-preserving.
+      std::set<VertexId> image(iso->begin(), iso->end());
+      EXPECT_EQ(image.size(), q.NumVertices());
+      for (VertexId v = 0; v < relabeled.NumVertices(); ++v) {
+        EXPECT_EQ(relabeled.label(v), q.label((*iso)[v]));
+        for (VertexId u : relabeled.Neighbors(v)) {
+          EXPECT_TRUE(q.HasEdge((*iso)[v], (*iso)[u]));
+        }
+      }
+    }
+  }
+}
+
+TEST(CanonicalTest, HashSeparatesDifferentQueries) {
+  Graph data = TestData();
+  std::vector<Graph> queries = TestQueries(data, 16, 8, 11);
+  std::map<uint64_t, const Graph*> by_hash;
+  for (const Graph& q : queries) {
+    auto [it, fresh] = by_hash.emplace(CanonicalQueryHash(q), &q);
+    // Equal hashes are only acceptable for actually-isomorphic queries.
+    if (!fresh) {
+      EXPECT_TRUE(FindIsomorphism(q, *it->second).has_value());
+    }
+  }
+  // The sweep must not degenerate into one bucket.
+  EXPECT_GT(by_hash.size(), 8u);
+}
+
+TEST(CanonicalTest, RejectsNonIsomorphic) {
+  // Same degree sequence and labels, different structure: path vs triangle
+  // plus isolated-ish tail. P4 (path on 4) vs K3+K1 have different degree
+  // multisets; use C4 vs P4 with uniform labels instead — C4 is 2-regular,
+  // P4 is not, WL separates them; also test same-WL-seed label mismatch.
+  Graph c4 = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Graph p4 = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_FALSE(FindIsomorphism(c4, p4).has_value());
+  EXPECT_NE(CanonicalQueryHash(c4), CanonicalQueryHash(p4));
+
+  Graph labeled = MakeGraph({0, 1, 0, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_FALSE(FindIsomorphism(c4, labeled).has_value());
+  EXPECT_NE(CanonicalQueryHash(c4), CanonicalQueryHash(labeled));
+}
+
+// ---- plan cache ---------------------------------------------------------
+
+TEST(PlanCacheTest, IsomorphicRelabelsShareOneEntry) {
+  Graph data = TestData();
+  CflMatcher matcher(data);
+  PlanCache cache(64ull << 20);
+  Graph q = TestQueries(data, 1, 8, 21)[0];
+
+  EXPECT_EQ(cache.Find(q).plan, nullptr);  // cold
+  auto plan = cache.Insert(q, matcher.Prepare(q));
+  ASSERT_NE(plan, nullptr);
+
+  Rng rng(5);
+  for (int rep = 0; rep < 3; ++rep) {
+    Graph relabeled = Relabel(q, rng);
+    PlanCache::Hit hit = cache.Find(relabeled);
+    ASSERT_NE(hit.plan, nullptr);
+    EXPECT_EQ(hit.plan.get(), plan.get());  // the same shared entry
+    EXPECT_EQ(hit.remap.size(), q.NumVertices());
+  }
+  serve::PlanCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(PlanCacheTest, CacheHitResultsAreBitIdenticalToColdPrepare) {
+  Graph data = TestData();
+  CflMatcher matcher(data);
+  PlanCache cache(64ull << 20);
+  Rng rng(31);
+
+  for (const Graph& q : TestQueries(data, 6, 8, 41)) {
+    auto inserted = cache.Insert(q, matcher.Prepare(q));
+    ASSERT_NE(inserted, nullptr);
+    Graph relabeled = Relabel(q, rng);
+    PlanCache::Hit hit = cache.Find(relabeled);
+    ASSERT_NE(hit.plan, nullptr);
+
+    // Cold path: prepare `relabeled` from scratch and stream everything.
+    std::set<Embedding> cold;
+    {
+      EmbeddingIterator it(data, relabeled);
+      Embedding m;
+      while (it.Next(&m)) cold.insert(m);
+    }
+    // Cached path: stream from the shared plan (the *representative*'s
+    // numbering) and translate through the hit's remap.
+    std::set<Embedding> cached;
+    {
+      EmbeddingIterator it(data, hit.plan);
+      Embedding m;
+      while (it.Next(&m)) {
+        Embedding translated(m.size());
+        for (VertexId u = 0; u < translated.size(); ++u) {
+          translated[u] = m[hit.remap[u]];
+        }
+        cached.insert(translated);
+      }
+    }
+    EXPECT_EQ(cached, cold);
+  }
+}
+
+TEST(PlanCacheTest, EvictsLruUnderTinyByteBudget) {
+  Graph data = TestData();
+  CflMatcher matcher(data);
+  std::vector<Graph> queries = TestQueries(data, 6, 8, 61);
+
+  // Size one plan, then budget for roughly two of them.
+  PlanCache probe(1ull << 30);
+  probe.Insert(queries[0], matcher.Prepare(queries[0]));
+  const uint64_t one_plan = probe.Stats().bytes;
+  ASSERT_GT(one_plan, 0u);
+
+  PlanCache cache(one_plan * 2 + one_plan / 2);
+  for (const Graph& q : queries) {
+    cache.Insert(q, matcher.Prepare(q));
+  }
+  serve::PlanCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, cache.max_bytes());
+  EXPECT_LT(stats.entries, queries.size());
+  // LRU: the most recently inserted query must still be resident.
+  EXPECT_NE(cache.Find(queries.back()).plan, nullptr);
+
+  // A plan bigger than the whole budget is served uncached.
+  PlanCache tiny(1);
+  EXPECT_NE(tiny.Insert(queries[0], matcher.Prepare(queries[0])), nullptr);
+  EXPECT_EQ(tiny.Stats().entries, 0u);
+}
+
+TEST(PlanCacheTest, ZeroBudgetDisablesCaching) {
+  Graph data = TestData();
+  CflMatcher matcher(data);
+  PlanCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  Graph q = TestQueries(data, 1, 8, 71)[0];
+  auto plan = cache.Insert(q, matcher.Prepare(q));
+  ASSERT_NE(plan, nullptr);  // pass-through still returns the plan
+  EXPECT_EQ(cache.Find(q).plan, nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+// ---- task pool ----------------------------------------------------------
+
+TEST(TaskPoolTest, RunsEverySubmittedTask) {
+  TaskPool pool(4);
+  constexpr uint32_t kTasks = 100;
+  std::atomic<uint32_t> ran{0};
+  TaskLatch latch(kTasks);
+  for (uint32_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(TaskPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<uint32_t> ran{0};
+  {
+    TaskPool pool(1);  // single worker: tasks queue up
+    for (uint32_t i = 0; i < 50; ++i) {
+      pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor must run all 50, not drop the queue
+  EXPECT_EQ(ran.load(), 50u);
+}
+
+// ---- scheduler ----------------------------------------------------------
+
+TEST(SchedulerTest, ClampsLimitsToServerBudgets) {
+  Graph data = Figure3Data();
+  serve::SchedulerOptions options;
+  options.workers = 2;
+  options.max_time_limit_seconds = 5.0;
+  options.max_embeddings = 1000;
+  serve::QueryScheduler scheduler(data, options);
+
+  MatchLimits unlimited;  // the dangerous request: no limits at all
+  MatchLimits clamped = scheduler.ClampLimits(unlimited);
+  EXPECT_DOUBLE_EQ(clamped.time_limit_seconds, 5.0);
+  EXPECT_EQ(clamped.max_embeddings, 1000u);
+
+  MatchLimits tighter;
+  tighter.time_limit_seconds = 0.5;
+  tighter.max_embeddings = 10;
+  clamped = scheduler.ClampLimits(tighter);
+  EXPECT_DOUBLE_EQ(clamped.time_limit_seconds, 0.5);  // tighter wins
+  EXPECT_EQ(clamped.max_embeddings, 10u);
+}
+
+TEST(SchedulerTest, CountsMatchSerialEngine) {
+  Graph data = TestData();
+  CflMatcher matcher(data);
+  serve::SchedulerOptions options;
+  options.workers = 3;
+  serve::QueryScheduler scheduler(data, options);
+
+  for (const Graph& q : TestQueries(data, 8, 8, 81)) {
+    MatchResult serial = matcher.Match(q);
+    PreparedQuery prepared = matcher.Prepare(q);
+    uint32_t quota = 0;
+    MatchResult served = scheduler.Execute(q, prepared, MatchLimits{}, &quota);
+    EXPECT_EQ(served.embeddings, serial.embeddings);
+    EXPECT_FALSE(served.reached_limit);
+    EXPECT_FALSE(served.timed_out);
+    EXPECT_GE(quota, 1u);
+    EXPECT_LE(quota, options.workers);
+  }
+}
+
+TEST(SchedulerTest, ConcurrentQueriesInterleaveCorrectly) {
+  Graph data = TestData();
+  CflMatcher matcher(data);
+  std::vector<Graph> queries = TestQueries(data, 6, 8, 91);
+  std::vector<uint64_t> expected;
+  std::vector<PreparedQuery> prepared;
+  for (const Graph& q : queries) {
+    expected.push_back(matcher.Match(q).embeddings);
+    prepared.push_back(matcher.Prepare(q));
+  }
+
+  serve::SchedulerOptions options;
+  options.workers = 4;
+  options.max_concurrent_queries = 3;  // force admission waits
+  serve::QueryScheduler scheduler(data, options);
+
+  std::atomic<uint32_t> failures{0};
+  std::vector<std::thread> sessions;
+  sessions.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sessions.emplace_back([&, i] {
+      for (int rep = 0; rep < 3; ++rep) {
+        MatchResult r =
+            scheduler.Execute(queries[i], prepared[i], MatchLimits{});
+        if (r.embeddings != expected[i]) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(scheduler.ActiveQueries(), 0u);
+}
+
+// ---- protocol -----------------------------------------------------------
+
+TEST(ProtocolTest, RequestHeaderRoundTrip) {
+  serve::RequestHeader header;
+  header.kind = serve::RequestKind::kQuery;
+  header.mode = serve::QueryMode::kStream;
+  header.limits.max_embeddings = 500;
+  header.limits.time_limit_seconds = 2.5;
+
+  std::string error;
+  auto parsed =
+      serve::ParseRequestHeader(serve::FormatRequestHeader(header), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->kind, serve::RequestKind::kQuery);
+  EXPECT_EQ(parsed->mode, serve::QueryMode::kStream);
+  EXPECT_EQ(parsed->limits.max_embeddings, 500u);
+  EXPECT_DOUBLE_EQ(parsed->limits.time_limit_seconds, 2.5);
+
+  EXPECT_FALSE(serve::ParseRequestHeader("FROB", &error).has_value());
+  EXPECT_FALSE(serve::ParseRequestHeader("QUERY mode=banana", &error)
+                   .has_value());
+  EXPECT_FALSE(serve::ParseRequestHeader("QUERY max=0", &error).has_value());
+}
+
+TEST(ProtocolTest, ResultLineRoundTrip) {
+  serve::QueryOutcome outcome;
+  outcome.embeddings = 42;
+  outcome.reached_limit = true;
+  outcome.timed_out = false;
+  outcome.cache = serve::QueryOutcome::Cache::kHit;
+  outcome.prepare_ms = 1.5;
+  outcome.enum_ms = 2.25;
+  outcome.total_ms = 4.0;
+  outcome.quota = 3;
+
+  std::string error;
+  auto parsed =
+      serve::ParseResultLine(serve::FormatResultLine(outcome), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->embeddings, 42u);
+  EXPECT_TRUE(parsed->reached_limit);
+  EXPECT_FALSE(parsed->timed_out);
+  EXPECT_EQ(parsed->cache, serve::QueryOutcome::Cache::kHit);
+  EXPECT_EQ(parsed->quota, 3u);
+
+  Embedding emb = {4, 0, 7};
+  auto round = serve::ParseEmbeddingLine(serve::FormatEmbeddingLine(emb));
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, emb);
+}
+
+// ---- server end to end --------------------------------------------------
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/cfl_serve_test_" + std::to_string(getpid()) + "_" + tag +
+         ".sock";
+}
+
+class ServerFixture {
+ public:
+  explicit ServerFixture(const Graph& data, serve::ServeOptions options)
+      : options_(std::move(options)), server_(data, options_) {
+    thread_ = std::thread([this] { server_.Serve(); });
+    serve::ServeClient probe;
+    for (int attempt = 0; attempt < 300; ++attempt) {
+      if (probe.Connect(options_.socket_path) && probe.Ping()) return;
+      usleep(10'000);
+    }
+    ADD_FAILURE() << "server did not come up";
+  }
+
+  ~ServerFixture() {
+    server_.RequestShutdown();
+    thread_.join();
+    unlink(options_.socket_path.c_str());
+  }
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  serve::ServeOptions options_;
+  serve::QueryServer server_;
+  std::thread thread_;
+};
+
+TEST(QueryServerTest, CountStreamStatsShutdown) {
+  Graph data = Figure3Data();
+  Graph q = Figure3Query();
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("basic");
+  options.workers = 2;
+  options.sessions = 2;
+  {
+    ServerFixture fixture(data, options);
+    serve::ServeClient client;
+    ASSERT_TRUE(client.Connect(fixture.socket_path()));
+    ASSERT_TRUE(client.Ping());
+
+    serve::ServeClient::Reply count = client.Count(q);
+    ASSERT_TRUE(count.ok) << count.error;
+    EXPECT_EQ(count.outcome.embeddings, 3u);
+    EXPECT_EQ(count.outcome.cache, serve::QueryOutcome::Cache::kMiss);
+
+    // Second time around: served from the plan cache.
+    count = client.Count(q);
+    ASSERT_TRUE(count.ok) << count.error;
+    EXPECT_EQ(count.outcome.embeddings, 3u);
+    EXPECT_EQ(count.outcome.cache, serve::QueryOutcome::Cache::kHit);
+
+    serve::ServeClient::Reply stream = client.Stream(q);
+    ASSERT_TRUE(stream.ok) << stream.error;
+    EXPECT_EQ(stream.embeddings.size(), 3u);
+    std::set<Embedding> streamed(stream.embeddings.begin(),
+                                 stream.embeddings.end());
+    std::set<Embedding> direct;
+    EmbeddingIterator it(data, q);
+    Embedding m;
+    while (it.Next(&m)) direct.insert(m);
+    EXPECT_EQ(streamed, direct);
+
+    std::map<std::string, uint64_t> stats = client.Stats();
+    EXPECT_EQ(stats["queries"], 3u);
+    EXPECT_EQ(stats["cache_hits"], 2u);  // count #2 and the stream
+    EXPECT_EQ(stats["cache_misses"], 1u);
+
+    // The connection stays usable after a whole exchange.
+    ASSERT_TRUE(client.Ping());
+    EXPECT_TRUE(client.Shutdown());
+  }
+}
+
+TEST(QueryServerTest, StreamedRelabeledQueryIsRemappedToClientNumbering) {
+  Graph data = TestData();
+  Graph q = TestQueries(data, 1, 6, 17)[0];
+  Rng rng(23);
+  Graph relabeled = Relabel(q, rng);
+
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("remap");
+  options.workers = 2;
+  ServerFixture fixture(data, options);
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(fixture.socket_path()));
+
+  // Warm the cache with q, then stream the relabeled twin: the EMB lines
+  // must be valid embeddings of *relabeled*, not of q.
+  ASSERT_TRUE(client.Count(q).ok);
+  serve::ServeClient::Reply reply = client.Stream(relabeled);
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(reply.outcome.cache, serve::QueryOutcome::Cache::kHit);
+
+  std::set<Embedding> expected;
+  EmbeddingIterator it(data, relabeled);
+  Embedding m;
+  while (it.Next(&m)) expected.insert(m);
+  std::set<Embedding> streamed(reply.embeddings.begin(),
+                               reply.embeddings.end());
+  EXPECT_EQ(streamed, expected);
+}
+
+TEST(QueryServerTest, ConcurrentMixedQueriesMatchSerialEngine) {
+  Graph data = TestData();
+  std::vector<Graph> queries = TestQueries(data, 6, 8, 101);
+  CflMatcher matcher(data);
+  std::vector<uint64_t> expected;
+  for (const Graph& q : queries) expected.push_back(matcher.Match(q).embeddings);
+
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("mixed");
+  options.workers = 4;
+  options.sessions = 4;
+  ServerFixture fixture(data, options);
+
+  std::atomic<uint32_t> failures{0};
+  std::vector<std::thread> clients;
+  Rng seed_rng(3);
+  for (uint32_t c = 0; c < 4; ++c) {
+    uint64_t client_seed = seed_rng.Next64();
+    clients.emplace_back([&, client_seed] {
+      Rng rng(client_seed);
+      serve::ServeClient client;
+      if (!client.Connect(fixture.socket_path())) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          // Every client sends its own relabeling: same logical query,
+          // different numbering — the cache's bread and butter.
+          Graph relabeled = Relabel(queries[i], rng);
+          serve::ServeClient::Reply reply = client.Count(relabeled);
+          if (!reply.ok || reply.outcome.embeddings != expected[i]) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+}  // namespace
+}  // namespace cfl

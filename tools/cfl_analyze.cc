@@ -140,6 +140,10 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"baseline", {"graph", "decomp", "cpi", "order", "validate", "match"}},
       {"parallel", {"graph", "decomp", "cpi", "order", "validate", "match"}},
       {"harness", {"graph", "decomp", "cpi", "order", "validate", "match"}},
+      // The serving stack sits at the top: it drives the match engines via
+      // both the serial iterator and the parallel sharding primitives.
+      {"serve",
+       {"graph", "decomp", "cpi", "order", "validate", "match", "parallel"}},
   };
   return table;
 }

@@ -195,6 +195,18 @@ Verdict RunPair(const Options& opt, const Graph& data, const Graph& q,
   for (const std::string& name : opt.engines) {
     std::unique_ptr<SubgraphEngine> engine = MakeEngineByName(name, data);
     MatchResult r = engine->Run(q, limits);
+    // Stop-flag invariant (every engine, every run): reached_limit reports
+    // exactly "the cap was hit", independent of timed_out — a cap+deadline
+    // photo finish must classify the same way in every engine.
+    if (r.reached_limit != (r.embeddings >= limits.max_embeddings) &&
+        v.stats_error.empty()) {
+      v.stats_error = name + ": reached_limit=" +
+                      std::to_string(r.reached_limit) +
+                      " disagrees with embeddings=" +
+                      std::to_string(r.embeddings) + " vs cap=" +
+                      std::to_string(limits.max_embeddings);
+      v.mismatch = true;
+    }
     // Per-engine stats invariants hold on every run, even partial ones.
     std::string violation = obs::CheckStatsInvariants(r.stats, r.embeddings,
                                                       r.total_seconds);

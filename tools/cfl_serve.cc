@@ -1,0 +1,124 @@
+// Resident query server: load a data graph once, serve queries over a local
+// socket until shut down.
+//
+//   cfl_serve <data-file> <socket-path> [options]
+//
+// Options:
+//   --workers=N          enumeration worker threads (default 4)
+//   --sessions=N         concurrent client connections (default 8)
+//   --cache-mb=MB        plan/CPI cache budget in MiB (default 256)
+//   --no-cache           disable the plan cache (load-driver baseline mode)
+//   --max-time=S         per-query wall ceiling, also applied to queries
+//                        that request no limit (default 30; 0 = unlimited)
+//   --max-embeddings=N   per-query embedding-count ceiling (default none)
+//   --max-concurrent=N   queries admitted at once (default 2*workers)
+//
+// Protocol: line-delimited text, one request per exchange — see
+// src/serve/protocol.h. Drive it by hand with
+//   socat - UNIX-CONNECT:<socket-path>
+// or programmatically through serve::ServeClient. A SHUTDOWN request (or
+// SIGINT/SIGTERM) drains open sessions and exits 0.
+//
+// All CFL_* environment knobs are snapshotted once at startup
+// (check/env.h): a setenv in some client of a long-lived server process can
+// never change serving behavior mid-flight.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/env.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace cfl;
+
+serve::QueryServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  // RequestShutdown is async-signal-safe: an atomic exchange and a write(2)
+  // to the self-pipe.
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <data-file> <socket-path> [--workers=N] [--sessions=N]\n"
+      "          [--cache-mb=MB] [--no-cache] [--max-time=S]\n"
+      "          [--max-embeddings=N] [--max-concurrent=N]\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  env::Capture();
+  if (argc < 3) Usage(argv[0]);
+
+  serve::ServeOptions options;
+  options.socket_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      options.workers =
+          static_cast<uint32_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--sessions=", 0) == 0) {
+      options.sessions =
+          static_cast<uint32_t>(std::strtoul(arg.c_str() + 11, nullptr, 10));
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      options.cache_bytes =
+          std::strtoull(arg.c_str() + 11, nullptr, 10) << 20;
+    } else if (arg == "--no-cache") {
+      options.cache_bytes = 0;
+    } else if (arg.rfind("--max-time=", 0) == 0) {
+      options.max_time_limit_seconds = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--max-embeddings=", 0) == 0) {
+      options.max_embeddings = std::strtoull(arg.c_str() + 17, nullptr, 10);
+    } else if (arg.rfind("--max-concurrent=", 0) == 0) {
+      options.max_concurrent_queries =
+          static_cast<uint32_t>(std::strtoul(arg.c_str() + 17, nullptr, 10));
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (options.workers == 0 || options.sessions == 0) Usage(argv[0]);
+
+  Graph data;
+  try {
+    data = LoadGraph(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error loading %s: %s\n", argv[1], e.what());
+    return 1;
+  }
+  std::printf("loaded %s: %u vertices, %llu edges, %u labels\n", argv[1],
+              data.NumVertices(),
+              static_cast<unsigned long long>(data.NumEdges()),
+              data.NumLabels());
+  std::printf("serving on %s: workers=%u sessions=%u cache=%s\n",
+              options.socket_path.c_str(), options.workers, options.sessions,
+              options.cache_bytes == 0
+                  ? "off"
+                  : (std::to_string(options.cache_bytes >> 20) + "MiB")
+                        .c_str());
+  std::fflush(stdout);
+
+  serve::QueryServer server(data, options);
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  int rc = server.Serve();
+  if (rc != 0) {
+    std::fprintf(stderr, "serve failed: %s\n", server.last_error().c_str());
+    return 1;
+  }
+  std::printf("clean shutdown\n");
+  return 0;
+}
