@@ -33,10 +33,10 @@ void RunDataset(const std::string& dataset, const Config& config) {
   Graph g = MakeBenchGraph(dataset, config);
   PrintGraphLine(dataset, g);
 
-  std::vector<std::unique_ptr<SubgraphEngine>> engines;
-  engines.push_back(MakeQuickSi(g));
-  engines.push_back(MakeTurboIso(g));
-  engines.push_back(MakeCflMatch(g));
+  std::vector<std::pair<std::string, std::unique_ptr<SubgraphEngine>>> engines;
+  engines.emplace_back("QuickSI", MakeQuickSi(g));
+  engines.emplace_back("TurboISO", MakeTurboIso(g));
+  engines.emplace_back("CFL-Match", MakeCflMatch(g));
 
   Table table({"query set", "#cores", "QuickSI", "TurboISO", "CFL-Match"});
   for (uint32_t size : QuerySizes(dataset, g)) {
@@ -45,13 +45,13 @@ void RunDataset(const std::string& dataset, const Config& config) {
           CoreStructures(MakeQuerySet(g, dataset, size, sparse, config));
       std::vector<std::string> row = {SetName(size, sparse),
                                       std::to_string(cores.size())};
-      for (const auto& engine : engines) {
+      for (const auto& [name, engine] : engines) {
         if (cores.empty()) {
           row.push_back("-");
           continue;
         }
-        row.push_back(FormatEnumResult(
-            RunQuerySet(*engine, cores, MakeRunConfig(config))));
+        row.push_back(FormatEnumResult(RunAndRecord(
+            "fig11", dataset, row[0], name, *engine, cores, config)));
       }
       table.AddRow(std::move(row));
     }

@@ -29,6 +29,13 @@ namespace cfl {
 // first anyway since it is cheaper.
 bool CandVerify(const Graph& q, VertexId u, const Graph& data, VertexId v);
 
+// Number of data vertices passing all four filters for u — the accurate
+// score root selection (A.6) uses for its shortlist. Streams the label's
+// vertex list with one-ahead NLF-run prefetch (kernels/kernels.h): each
+// vertex's verification hides the next one's index loads.
+uint64_t CountVerifiedCandidates(const Graph& q, VertexId u,
+                                 const Graph& data);
+
 // Label + degree precheck (paper Algorithm 3 lines 1 and 12).
 inline bool LabelDegreeFilter(const Graph& q, VertexId u, const Graph& data,
                               VertexId v) {

@@ -5,78 +5,86 @@
 #include "check/check.h"
 #include "check/narrow.h"
 #include "cpi/candidate_filter.h"
+#include "kernels/kernels.h"
 #include "obs/clock.h"
 
 namespace cfl {
 
 CpiBuilder::CpiBuilder(const Graph& data)
-    : data_(data),
-      cnt_(data.NumVertices(), 0),
-      pos_(data.NumVertices(), 0) {}
+    : data_(data), cnt_(data.NumVertices(), 0) {}
+
+void CpiBuilder::RefineRounds(const Label label,
+                              const std::vector<VertexId>& against,
+                              size_t first) {
+  // Rounds over `against[first..]` of the counting intersection (Algorithm 3
+  // lines 6-14 / Lemma 5.1), reformulated over the sorted survivor list:
+  // v survives a round iff some vprime in cand_[uprime] has v in its
+  // label-run — i.e. surv_ ∩ N(vprime, label) is non-empty at v for some
+  // vprime. Each run ∩ surv_ goes through the kernel layer (SIMD block
+  // merge / galloping by skew); cnt_ marks dedup vertices reached through
+  // several vprime runs, and the in-place filter keeps surv_ sorted.
+  uint32_t mark = 1;
+  for (size_t a = first; a < against.size(); ++a, ++mark) {
+    for (VertexId vprime : cand_[against[a]]) {
+      isect_.clear();
+      kernels::IntersectSorted(data_.NeighborsWithLabel(vprime, label), surv_,
+                               isect_);
+      for (VertexId v : isect_) cnt_[v] = mark;
+    }
+    std::erase_if(surv_,
+                  [this, mark](VertexId v) { return cnt_[v] != mark; });
+  }
+}
 
 void CpiBuilder::GenerateCandidates(const Graph& q, VertexId u,
                                     const std::vector<VertexId>& against) {
   CFL_DCHECK(!against.empty())
       << " generating candidates for query vertex " << u
       << " with no visited neighbors; BFS guarantees a visited parent";
-  // Counting intersection (Algorithm 3 lines 6-14 / Lemma 5.1): after round
-  // k, cnt_[v] == k+1 iff v has a neighbor in cand_[u'] for each of the
-  // first k+1 query vertices u' processed. Only data vertices with u's label
-  // can survive, so each candidate's neighborhood is scanned through its
-  // label run alone; the label filter is implied, and the degree filter only
-  // needs to run on round 0 (later rounds only ever see vertices that
-  // already passed it).
+  // Round 0 seeds the survivor set with a counting scan: only data vertices
+  // with u's label can survive, so each candidate's neighborhood is scanned
+  // through its label run alone (the label filter is implied), and the
+  // degree filter runs here once — later rounds only shrink the set.
   const Label label = q.label(u);
   const uint32_t min_degree = q.StructuralDegree(u);
-  uint32_t round = 0;
-  for (VertexId uprime : against) {
-    for (VertexId vprime : cand_[uprime]) {
-      for (VertexId v : data_.NeighborsWithLabel(vprime, label)) {
-        if (cnt_[v] != round) continue;
-        if (round == 0) {
-          if (data_.degree(v) < min_degree) continue;
-          touched_.push_back(v);
-        }
-        cnt_[v] = round + 1;
-      }
+  for (VertexId vprime : cand_[against.front()]) {
+    for (VertexId v : data_.NeighborsWithLabel(vprime, label)) {
+      if (cnt_[v] != 0) continue;
+      if (data_.degree(v) < min_degree) continue;
+      touched_.push_back(v);
+      cnt_[v] = 1;
     }
-    ++round;
   }
+  for (VertexId v : touched_) cnt_[v] = 0;
+  std::sort(touched_.begin(), touched_.end());
+  surv_ = touched_;
+
+  RefineRounds(label, against, /*first=*/1);
+
   std::vector<VertexId>& out = cand_[u];
   out.clear();
-  for (VertexId v : touched_) {
-    if (cnt_[v] == round && CandVerify(q, u, data_, v)) out.push_back(v);
-    cnt_[v] = 0;
+  for (VertexId v : surv_) {
+    if (CandVerify(q, u, data_, v)) out.push_back(v);
   }
+  // surv_ stayed sorted throughout, so `out` needs no final sort. Marks only
+  // ever land on members of the seed set, so resetting over touched_ (not
+  // just the final survivors) restores cnt_ to all-zero.
+  for (VertexId v : touched_) cnt_[v] = 0;
   touched_.clear();
-  std::sort(out.begin(), out.end());
 }
 
 void CpiBuilder::RefineCandidates(VertexId u,
                                   const std::vector<VertexId>& against) {
   if (against.empty() || cand_[u].empty()) return;
-  // All candidates of u share u's label, so the scans below only need that
-  // one label run of each vprime.
-  const Label label = data_.label(cand_[u].front());
-  uint32_t round = 0;
-  for (VertexId uprime : against) {
-    for (VertexId vprime : cand_[uprime]) {
-      for (VertexId v : data_.NeighborsWithLabel(vprime, label)) {
-        if (cnt_[v] != round) continue;
-        if (round == 0) touched_.push_back(v);
-        cnt_[v] = round + 1;
-      }
-    }
-    ++round;
-  }
-  // Keep only candidates that survived every round (Algorithm 3 lines 21-22
-  // / Algorithm 4 lines 5-6).
+  // All candidates of u share u's label, so the intersections below only
+  // need that one label run of each vprime. Keep only candidates that
+  // survive every round (Algorithm 3 lines 21-22 / Algorithm 4 lines 5-6).
   std::vector<VertexId>& c = cand_[u];
-  c.erase(std::remove_if(c.begin(), c.end(),
-                         [this, round](VertexId v) { return cnt_[v] != round; }),
-          c.end());
-  for (VertexId v : touched_) cnt_[v] = 0;
-  touched_.clear();
+  const Label label = data_.label(c.front());
+  surv_ = c;
+  RefineRounds(label, against, /*first=*/0);
+  for (VertexId v : c) cnt_[v] = 0;  // marks only ever land on subsets of c
+  c = surv_;
 }
 
 void CpiBuilder::TopDownConstruct(const Graph& q, const BfsTree& tree) {
@@ -160,10 +168,6 @@ void CpiBuilder::BuildAdjacency(const BfsTree& tree, Cpi* cpi) {
       const std::vector<VertexId>& parent_cands = cand_[p];
       const uint64_t entry_base = cpi->adj_entry_arena_.size();
 
-      // Mark child candidates with their position + 1.
-      for (uint32_t i = 0; i < child_cands.size(); ++i) {
-        pos_[child_cands[i]] = i + 1;
-      }
       // All child candidates share one label, so only that run of each
       // parent candidate's adjacency can contribute. An empty child set
       // degenerates to all-empty blocks.
@@ -173,19 +177,16 @@ void CpiBuilder::BuildAdjacency(const BfsTree& tree, Cpi* cpi) {
       cpi->adj_off_arena_.push_back(0);
       for (VertexId vp : parent_cands) {
         if (!child_cands.empty()) {
-          // Runs are sorted by id and candidate positions are id-monotone,
-          // so each N_u^{p}(vp) block comes out sorted by position.
-          for (VertexId v : data_.NeighborsWithLabel(vp, label)) {
-            if (pos_[v] != 0) {
-              cpi->adj_entry_arena_.push_back(pos_[v] - 1);
-            }
-          }
+          // N_u^{p}(vp) = run ∩ child_cands, emitted as positions into the
+          // (sorted) candidate list: both sides ascend by id, so each block
+          // comes out sorted by position — exactly IntersectPositions,
+          // appended straight into the entry arena.
+          kernels::IntersectPositions(data_.NeighborsWithLabel(vp, label),
+                                      child_cands, cpi->adj_entry_arena_);
         }
         cpi->adj_off_arena_.push_back(
             CheckedU32(cpi->adj_entry_arena_.size() - entry_base));
       }
-
-      for (VertexId v : child_cands) pos_[v] = 0;
     }
     cpi->adj_off_start_[u + 1] = cpi->adj_off_arena_.size();
     cpi->adj_entry_start_[u + 1] = cpi->adj_entry_arena_.size();

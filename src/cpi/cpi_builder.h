@@ -74,6 +74,14 @@ class CpiBuilder {
                           const std::vector<VertexId>& against);
   void RefineCandidates(VertexId u, const std::vector<VertexId>& against);
 
+  // Shared round loop of the two passes above: filters the sorted survivor
+  // list surv_ against cand_[against[first..]] one round at a time, each
+  // vprime label-run intersected with surv_ through the kernel layer
+  // (kernels/kernels.h). Marks cnt_ with values 1.. per round; callers reset
+  // cnt_ over the round-0 seed set afterwards.
+  void RefineRounds(Label label, const std::vector<VertexId>& against,
+                    size_t first);
+
   void BuildAdjacency(const BfsTree& tree, Cpi* cpi);
 
   const Graph& data_;
@@ -85,11 +93,12 @@ class CpiBuilder {
   // Scratch, |V(G)|-sized, reset via touched lists after each use.
   std::vector<uint32_t> cnt_;
   std::vector<VertexId> touched_;
-  std::vector<uint32_t> pos_;  // candidate position + 1; 0 = not a candidate
 
   // Small reused buffers (cleared per query vertex, allocated once).
   std::vector<VertexId> vis_;    // TopDownConstruct: visited query neighbors
   std::vector<VertexId> lower_;  // BottomUpRefine: lower-level neighbors
+  std::vector<VertexId> surv_;   // RefineRounds: sorted survivor list
+  std::vector<VertexId> isect_;  // RefineRounds: per-run intersection
 };
 
 // One-shot convenience wrapper.

@@ -34,12 +34,7 @@ VertexId SelectRoot(const Graph& q, const Graph& data,
   double best_score = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < shortlist; ++i) {
     VertexId u = scored[i].u;
-    uint64_t cands = 0;
-    for (VertexId v : data.VerticesWithLabel(q.label(u))) {
-      if (data.degree(v) >= q.StructuralDegree(u) && CandVerify(q, u, data, v)) {
-        ++cands;
-      }
-    }
+    uint64_t cands = CountVerifiedCandidates(q, u, data);
     double degree = std::max<uint32_t>(1, q.StructuralDegree(u));
     double score = static_cast<double>(cands) / degree;
     if (score < best_score) {

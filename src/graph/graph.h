@@ -214,6 +214,17 @@ class Graph {
     return HubBit(hub_index_[v], w);
   }
 
+  // Base of hub v's bitset row — NumVertices() bits in 64-bit words indexed
+  // by neighbor id — or nullptr when v is not a hub (or the index is
+  // absent). The kernel layer (kernels/kernels.h) resolves rows once per
+  // enumeration descent so backward-edge probes skip the hub_index_ lookup.
+  const uint64_t* HubRowWords(VertexId v) const {
+    if (hub_bits_.empty()) return nullptr;
+    const uint32_t row = hub_index_[v];
+    if (row == kNoHub) return nullptr;
+    return hub_bits_.data() + row * hub_words_per_row_;
+  }
+
   // Approximate heap footprint in bytes; used by the index-size experiment.
   uint64_t MemoryBytes() const;
 

@@ -1,0 +1,71 @@
+// Backward-edge verification against a per-descent BackwardPlan.
+//
+// The scalar entry is the reference: probe the plan's edges in order, one
+// bit-test (hub row) or HasEdge (non-hub) each, and report the first
+// failure index. The batched entry exploits that when every backward
+// endpoint is a hub — the common case the hub index was built for — all
+// probes for a candidate v read the SAME word offset (v / 64) of different
+// rows, so four rows can be conjoined word-at-a-time and tested with a
+// single AND against v's bit; only a failing batch is re-scanned to recover
+// the exact first-fail index, keeping the probes-performed count (stats)
+// bit-identical to the scalar loop.
+//
+// Both entries live in this always-scalar translation unit: the batched
+// form is plain 64-bit code, it needs no intrinsics — the avx2 namespace
+// placement only ties it to the dispatch tier that selects it.
+
+#include "kernels/kernels.h"
+
+namespace cfl::kernels {
+
+namespace {
+
+inline bool RowBit(const uint64_t* row, VertexId v) {
+  return ((row[v >> 6] >> (v & 63)) & 1u) != 0;
+}
+
+uint32_t VerifyPerEdge(const Graph& data, const BackwardPlan& plan,
+                       VertexId v) {
+  const size_t n = plan.edges.size();
+  for (size_t k = 0; k < n; ++k) {
+    const BackwardPlan::Edge& e = plan.edges[k];
+    const bool ok =
+        e.row != nullptr ? RowBit(e.row, v) : data.HasEdge(e.mapped, v);
+    if (!ok) return static_cast<uint32_t>(k);
+  }
+  return static_cast<uint32_t>(n);
+}
+
+}  // namespace
+
+namespace scalar {
+uint32_t VerifyBackwardEdges(const Graph& data, const BackwardPlan& plan,
+                             VertexId v) {
+  return VerifyPerEdge(data, plan, v);
+}
+}  // namespace scalar
+
+#if defined(CFL_KERNELS_HAVE_AVX2)
+namespace avx2 {
+uint32_t VerifyBackwardEdges(const Graph& data, const BackwardPlan& plan,
+                             VertexId v) {
+  const size_t n = plan.edges.size();
+  if (!plan.all_hub || n < 4) return VerifyPerEdge(data, plan, v);
+  const size_t word = v >> 6;
+  const uint64_t bit = uint64_t{1} << (v & 63);
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const uint64_t conj =
+        plan.edges[k].row[word] & plan.edges[k + 1].row[word] &
+        plan.edges[k + 2].row[word] & plan.edges[k + 3].row[word];
+    if ((conj & bit) == 0) break;  // first failure is inside this batch
+  }
+  for (; k < n; ++k) {
+    if (!RowBit(plan.edges[k].row, v)) return static_cast<uint32_t>(k);
+  }
+  return static_cast<uint32_t>(n);
+}
+}  // namespace avx2
+#endif  // CFL_KERNELS_HAVE_AVX2
+
+}  // namespace cfl::kernels

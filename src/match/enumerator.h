@@ -24,6 +24,7 @@
 #include "check/narrow.h"
 #include "cpi/cpi.h"
 #include "graph/graph.h"
+#include "kernels/kernels.h"
 #include "match/embedding.h"
 #include "order/matching_order.h"
 
@@ -87,6 +88,21 @@ EnumerateStatus EnumeratePartial(
   // Per-depth cursor into the candidate source.
   std::vector<uint32_t> cursor(depth_count, 0);
 
+  // Backward-edge plans (kernels/kernels.h): the shallower bindings are
+  // fixed for a depth's whole candidate sweep, so the mapped endpoints and
+  // their hub bitmap rows are resolved once per descent; per candidate the
+  // verification is then a batched bit-test pass with no hub-index or
+  // mapping loads. Rebuilt exactly where hub_prefix is.
+  std::vector<kernels::BackwardPlan> plans(depth_count);
+  auto rebuild_plan = [&](size_t d) {
+    kernels::BackwardPlan& plan = plans[d];
+    plan.Reset();
+    for (VertexId w : steps[d].backward) plan.Add(data, state.mapping[w]);
+  };
+  rebuild_plan(0);
+  const bool prefetch =
+      kernels::PrefetchEnabled() && cpi.PrefetchWorthwhile();
+
   // Stats builds classify each backward probe as hub-answered or not
   // (HasEdge is O(1) when either endpoint is a hub). Doing that inside the
   // probe loop costs two hub-index reads per probe — measurable against an
@@ -147,20 +163,26 @@ EnumerateStatus EnumeratePartial(
       uint32_t pos = is_root ? cursor[depth] : adjacent[cursor[depth]];
       ++cursor[depth];
       ++state.candidates_tried;
+      // Touch the next candidate-arena entry while this one is verified;
+      // the lookahead hides the dependent load the next iteration starts
+      // with. Bounded to one position — deeper lookahead would prefetch
+      // past rejects.
+      if (prefetch && cursor[depth] < limit) {
+        cpi.PrefetchCandidate(
+            step.u, is_root ? cursor[depth] : adjacent[cursor[depth]]);
+      }
       VertexId v = cpi.CandidateAt(step.u, pos);
       if (state.used[v] >= data.multiplicity(v)) {
         CFL_STATS_ONLY(++state.stats.conflict_rejects;)
         continue;
       }
-      bool ok = true;
-      CFL_STATS_ONLY(uint32_t probed = 0;)
-      for (VertexId w : step.backward) {
-        CFL_STATS_ONLY(++probed;)
-        if (!data.HasEdge(state.mapping[w], v)) {
-          ok = false;
-          break;
-        }
-      }
+      // Backward non-tree edges (Theorem 4.1), batched against the plan.
+      // The first-fail index reproduces the scalar loop's probe count
+      // exactly: fail index + 1 probes on a reject, all of them on a pass.
+      const uint32_t nback = CheckedU32(plans[depth].edges.size());
+      const uint32_t fail = kernels::VerifyBackwardEdges(data, plans[depth], v);
+      const bool ok = fail == nback;
+      CFL_STATS_ONLY(const uint32_t probed = ok ? nback : fail + 1;)
       // Probe accounting once per candidate: the prefix table counts the
       // probed endpoints mapped to hubs; a hub v makes the rest of the
       // probes hub-answered too. IsHub(v) is consulted only when the prefix
@@ -212,7 +234,14 @@ EnumerateStatus EnumeratePartial(
 
     ++depth;
     cursor[depth] = 0;
+    rebuild_plan(depth);
     CFL_STATS_ONLY(rebuild_hub_prefix(depth);)
+    // Touch the adjacency-offset pair the next iteration dereferences for
+    // the freshly entered step while the plan/prefix rebuilds retire.
+    if (prefetch && steps[depth].parent != kInvalidVertex) {
+      cpi.PrefetchAdjacency(steps[depth].u,
+                            state.position[steps[depth].parent]);
+    }
   }
 }
 

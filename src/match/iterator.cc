@@ -16,7 +16,16 @@ StepEnumerator::StepEnumerator(const Graph& data, const Cpi& cpi,
       steps_(steps),
       state_(state),
       deadline_(deadline),
-      cursor_(steps.size(), 0) {}
+      cursor_(steps.size(), 0),
+      plans_(steps.size()) {}
+
+void StepEnumerator::RebuildPlan(size_t depth) {
+  kernels::BackwardPlan& plan = plans_[depth];
+  plan.Reset();
+  for (VertexId w : steps_[depth].backward) {
+    plan.Add(data_, state_->mapping[w]);
+  }
+}
 
 void StepEnumerator::Abort() {
   for (size_t d = 0; d < bound_; ++d) {
@@ -49,6 +58,7 @@ bool StepEnumerator::Next() {
         << " StepEnumerator::Next resumed with a partial binding";
     depth = 0;
     cursor_[0] = 0;
+    RebuildPlan(0);
   }
 
   while (true) {
@@ -79,14 +89,12 @@ bool StepEnumerator::Next() {
       ++cursor_[depth];
       VertexId v = cpi_.CandidateAt(step.u, pos);
       if (state_->used[v] >= data_.multiplicity(v)) continue;
-      bool ok = true;
-      for (VertexId w : step.backward) {
-        if (!data_.HasEdge(state_->mapping[w], v)) {
-          ok = false;
-          break;
-        }
+      // Backward non-tree edges, batched against the per-descent plan
+      // exactly as EnumeratePartial does.
+      if (kernels::VerifyBackwardEdges(data_, plans_[depth], v) !=
+          plans_[depth].edges.size()) {
+        continue;
       }
-      if (!ok) continue;
       state_->mapping[step.u] = v;
       state_->position[step.u] = pos;
       ++state_->used[v];
@@ -99,6 +107,7 @@ bool StepEnumerator::Next() {
       if (bound_ == n) return true;
       ++depth;
       cursor_[depth] = 0;
+      RebuildPlan(depth);
       continue;
     }
     if (depth == 0) {

@@ -34,6 +34,7 @@
 
 #include "cpi/cpi.h"
 #include "graph/graph.h"
+#include "kernels/kernels.h"
 #include "match/embedding.h"
 #include "match/enumerator.h"
 #include "order/matching_order.h"
@@ -65,12 +66,21 @@ class StepEnumerator {
   bool timed_out() const { return timed_out_; }
 
  private:
+  // Re-resolves the backward-edge plan of `depth` against the current
+  // mapping; called on every descent (and stays valid across Next()
+  // resumes — the shallower bindings a plan depends on are only ever
+  // changed by descending through this depth again).
+  void RebuildPlan(size_t depth);
+
   const Graph& data_;
   const Cpi& cpi_;
   const std::vector<MatchStep>& steps_;
   EnumeratorState* state_;
   Deadline* deadline_;
   std::vector<uint32_t> cursor_;
+  // Per-depth backward-edge plans (kernels/kernels.h), same rebuild-on-
+  // descent discipline as EnumeratePartial.
+  std::vector<kernels::BackwardPlan> plans_;
   // Number of currently-bound steps; search resumes from here.
   size_t bound_ = 0;
   bool exhausted_ = false;

@@ -1,0 +1,361 @@
+// Property tests for the SIMD kernel layer (kernels/kernels.h).
+//
+// The contract under test: for identical inputs, the scalar reference, the
+// AVX2 implementation, and the dispatched entry points return identical
+// bytes — same values, same order, same counts, same first-failure index
+// from VerifyBackwardEdges. Inputs sweep the shapes the engine produces:
+// empty, singleton, unaligned tails around the 8-lane block width, sizes
+// from 10^0 to 10^5, disjoint/identical extremes, and skew ratios past the
+// galloping cutover.
+
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <random>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/env.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace cfl {
+namespace {
+
+using kernels::BackwardPlan;
+using kernels::Isa;
+
+// ---- reference implementations (straight from the STL) -------------------
+
+std::vector<uint32_t> RefIntersect(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<uint32_t> RefPositions(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  size_t i = 0;
+  for (size_t j = 0; j < b.size(); ++j) {
+    while (i < a.size() && a[i] < b[j]) ++i;
+    if (i < a.size() && a[i] == b[j]) out.push_back(static_cast<uint32_t>(j));
+  }
+  return out;
+}
+
+// Strictly ascending vector of `n` values with gaps in [1, max_gap].
+std::vector<uint32_t> RandomAscending(std::mt19937& rng, size_t n,
+                                      uint32_t max_gap) {
+  std::uniform_int_distribution<uint32_t> gap(1, max_gap);
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  uint32_t cur = gap(rng);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(cur);
+    cur += gap(rng);
+  }
+  return v;
+}
+
+// Runs every implementation of every intersection primitive on (a, b) and
+// checks them against the STL reference. `where` labels the failing combo.
+void CheckIntersection(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b, const char* where) {
+  const std::vector<uint32_t> want = RefIntersect(a, b);
+  const std::vector<uint32_t> want_pos = RefPositions(a, b);
+
+  std::vector<uint32_t> got;
+  kernels::scalar::IntersectSorted(a, b, got);
+  EXPECT_EQ(got, want) << where << " scalar values |a|=" << a.size()
+                       << " |b|=" << b.size();
+  got.clear();
+  kernels::avx2::IntersectSorted(a, b, got);
+  EXPECT_EQ(got, want) << where << " avx2 values |a|=" << a.size()
+                       << " |b|=" << b.size();
+  got.clear();
+  kernels::IntersectSorted(a, b, got);
+  EXPECT_EQ(got, want) << where << " dispatched values";
+
+  EXPECT_EQ(kernels::scalar::IntersectCount(a, b), want.size())
+      << where << " scalar count";
+  EXPECT_EQ(kernels::avx2::IntersectCount(a, b), want.size())
+      << where << " avx2 count";
+  EXPECT_EQ(kernels::IntersectCount(a, b), want.size())
+      << where << " dispatched count";
+
+  got.clear();
+  kernels::scalar::IntersectPositions(a, b, got);
+  EXPECT_EQ(got, want_pos) << where << " scalar positions";
+  got.clear();
+  kernels::avx2::IntersectPositions(a, b, got);
+  EXPECT_EQ(got, want_pos) << where << " avx2 positions";
+  got.clear();
+  kernels::IntersectPositions(a, b, got);
+  EXPECT_EQ(got, want_pos) << where << " dispatched positions";
+}
+
+TEST(KernelsIntersectTest, EmptyAndSingletonEdgeCases) {
+  const std::vector<uint32_t> empty;
+  const std::vector<uint32_t> one{7};
+  const std::vector<uint32_t> other{9};
+  const std::vector<uint32_t> run{1, 3, 5, 7, 9, 11, 13, 15, 17};
+  CheckIntersection(empty, empty, "empty/empty");
+  CheckIntersection(empty, run, "empty/run");
+  CheckIntersection(run, empty, "run/empty");
+  CheckIntersection(one, one, "one/one");
+  CheckIntersection(one, other, "one/other");
+  CheckIntersection(one, run, "one/run");
+  CheckIntersection(run, one, "run/one");
+}
+
+TEST(KernelsIntersectTest, DisjointAndIdenticalExtremes) {
+  std::mt19937 rng(17);
+  for (size_t n : {1u, 8u, 9u, 100u, 4096u}) {
+    std::vector<uint32_t> a = RandomAscending(rng, n, 5);
+    CheckIntersection(a, a, "identical");
+    // Interleave a second sequence into the gaps: strictly disjoint.
+    std::vector<uint32_t> b;
+    for (uint32_t x : a) b.push_back(x * 2 + 100000000u);
+    CheckIntersection(a, b, "disjoint");
+    CheckIntersection(b, a, "disjoint-swapped");
+  }
+}
+
+TEST(KernelsIntersectTest, UnalignedTailsAroundBlockWidth) {
+  std::mt19937 rng(23);
+  // Every size pair around the 8-lane block width, both orders: the block
+  // loop's tail handoff must be exact for 7/8/9-style remainders.
+  for (size_t na = 0; na <= 19; ++na) {
+    for (size_t nb = 0; nb <= 19; ++nb) {
+      std::vector<uint32_t> a = RandomAscending(rng, na, 3);
+      std::vector<uint32_t> b = RandomAscending(rng, nb, 3);
+      CheckIntersection(a, b, "tail-sweep");
+    }
+  }
+}
+
+TEST(KernelsIntersectTest, RandomizedSizeAndDensitySweep) {
+  std::mt19937 rng(41);
+  const size_t sizes[] = {1, 10, 100, 1000, 10000, 100000};
+  // max_gap controls density and thus selectivity: gap 2 overlaps heavily
+  // with gap 2, gap 64 barely touches anything.
+  const uint32_t gaps[] = {2, 8, 64};
+  for (size_t na : sizes) {
+    for (size_t nb : sizes) {
+      for (uint32_t ga : gaps) {
+        std::vector<uint32_t> a = RandomAscending(rng, na, ga);
+        std::vector<uint32_t> b = RandomAscending(rng, nb, ga);
+        CheckIntersection(a, b, "sweep");
+      }
+    }
+  }
+}
+
+TEST(KernelsIntersectTest, SkewedPairsTakeGallopingPathCorrectly) {
+  std::mt19937 rng(59);
+  // 10^4:1-style skew drives both directions past the galloping cutover.
+  std::vector<uint32_t> large = RandomAscending(rng, 100000, 4);
+  for (size_t small_n : {1u, 3u, 17u, 200u}) {
+    std::vector<uint32_t> small;
+    std::sample(large.begin(), large.end(), std::back_inserter(small),
+                small_n, rng);
+    // Perturb half the sampled values so misses interleave with hits.
+    for (size_t i = 0; i < small.size(); i += 2) small[i] += 1;
+    std::sort(small.begin(), small.end());
+    small.erase(std::unique(small.begin(), small.end()), small.end());
+    CheckIntersection(small, large, "gallop-small-a");
+    CheckIntersection(large, small, "gallop-small-b");
+  }
+}
+
+// ---- backward-edge verification ------------------------------------------
+
+// A graph with both hub and non-hub vertices: vertices 0..3 connect to most
+// of the 64 tail vertices (structural degree >= 8 => hubs at threshold 8),
+// the tail vertices keep degree < 8 (non-hubs).
+Graph HubMixData() {
+  constexpr uint32_t kTail = 64;
+  GraphBuilder b(4 + kTail);
+  b.SetHubDegreeThreshold(8);
+  for (uint32_t v = 0; v < 4 + kTail; ++v) b.SetLabel(v, 0);
+  for (uint32_t h = 0; h < 4; ++h) {
+    for (uint32_t t = 0; t < kTail; ++t) {
+      // Each hub skips a different residue class so rows differ.
+      if (t % 7 == h) continue;
+      b.AddEdge(h, 4 + t);
+    }
+  }
+  return std::move(b).Build();
+}
+
+TEST(KernelsVerifyTest, MatchesPerEdgeHasEdgeOnHubAndNonHubMixes) {
+  Graph g = HubMixData();
+  ASSERT_TRUE(g.HasHubIndex());
+  ASSERT_TRUE(g.IsHub(0));
+  ASSERT_FALSE(g.IsHub(4));
+
+  std::mt19937 rng(97);
+  std::uniform_int_distribution<uint32_t> pick(0, g.NumVertices() - 1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    BackwardPlan plan;
+    plan.Reset();
+    const uint32_t n = 1 + trial % 7;
+    std::vector<VertexId> mapped;
+    for (uint32_t k = 0; k < n; ++k) {
+      VertexId w = pick(rng);
+      // Bias toward hubs so the all-hub bit-parallel path gets exercised.
+      if (trial % 3 != 0) w %= 4;
+      plan.Add(g, w);
+      mapped.push_back(w);
+    }
+    const VertexId v = pick(rng);
+
+    // Reference: first failing per-edge HasEdge probe, or n if all pass.
+    uint32_t want = n;
+    for (uint32_t k = 0; k < n; ++k) {
+      if (!g.HasEdge(mapped[k], v)) {
+        want = k;
+        break;
+      }
+    }
+    EXPECT_EQ(kernels::scalar::VerifyBackwardEdges(g, plan, v), want)
+        << "trial " << trial << " v=" << v;
+    EXPECT_EQ(kernels::avx2::VerifyBackwardEdges(g, plan, v), want)
+        << "trial " << trial << " v=" << v;
+    EXPECT_EQ(kernels::VerifyBackwardEdges(g, plan, v), want)
+        << "trial " << trial << " v=" << v;
+  }
+}
+
+TEST(KernelsVerifyTest, PlanTracksHubRowsAndAllHubFlag) {
+  Graph g = HubMixData();
+  BackwardPlan plan;
+  plan.Add(g, 0);
+  plan.Add(g, 1);
+  EXPECT_TRUE(plan.all_hub);
+  EXPECT_NE(plan.edges[0].row, nullptr);
+  plan.Add(g, 5);  // tail vertex: not a hub
+  EXPECT_FALSE(plan.all_hub);
+  EXPECT_EQ(plan.edges[2].row, nullptr);
+  plan.Reset();
+  EXPECT_TRUE(plan.all_hub);
+  EXPECT_TRUE(plan.edges.empty());
+}
+
+TEST(KernelsVerifyTest, EmptyPlanAlwaysPasses) {
+  Graph g = HubMixData();
+  BackwardPlan plan;
+  EXPECT_EQ(kernels::VerifyBackwardEdges(g, plan, 0), 0u);
+  EXPECT_EQ(kernels::scalar::VerifyBackwardEdges(g, plan, 7), 0u);
+  EXPECT_EQ(kernels::avx2::VerifyBackwardEdges(g, plan, 7), 0u);
+}
+
+TEST(KernelsVerifyTest, WorksWithoutHubIndex) {
+  // Hub rows disabled entirely: every plan edge falls back to HasEdge.
+  GraphBuilder b(6);
+  b.SetHubDegreeThreshold(0);
+  for (uint32_t v = 0; v < 6; ++v) b.SetLabel(v, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build();
+  ASSERT_FALSE(g.HasHubIndex());
+  BackwardPlan plan;
+  plan.Add(g, 0);
+  plan.Add(g, 1);
+  EXPECT_FALSE(plan.all_hub);
+  EXPECT_EQ(kernels::scalar::VerifyBackwardEdges(g, plan, 2), 2u);
+  EXPECT_EQ(kernels::avx2::VerifyBackwardEdges(g, plan, 2), 2u);
+  EXPECT_EQ(kernels::scalar::VerifyBackwardEdges(g, plan, 3), 0u);
+  plan.Reset();
+  plan.Add(g, 2);
+  plan.Add(g, 3);  // v=0: edge (2,0) holds, (3,0) doesn't -> first fail 1
+  EXPECT_EQ(kernels::avx2::VerifyBackwardEdges(g, plan, 0), 1u);
+}
+
+// ---- dispatch ------------------------------------------------------------
+
+TEST(KernelsDispatchTest, StartupSelectionIsConsistent) {
+  const Isa isa = kernels::ActiveIsa();
+  if (env::Get("CFL_FORCE_SCALAR") != nullptr &&
+      std::string_view(env::Get("CFL_FORCE_SCALAR")) != "0") {
+    EXPECT_EQ(isa, Isa::kScalar);
+    EXPECT_FALSE(kernels::PrefetchEnabled());
+  } else if (kernels::Avx2Available()) {
+    EXPECT_EQ(isa, Isa::kAvx2);
+  } else {
+    EXPECT_EQ(isa, Isa::kScalar);
+  }
+  EXPECT_STRNE(kernels::IsaName(isa), "");
+  // CompiledIn is a superset condition of Available.
+  if (kernels::Avx2Available()) {
+    EXPECT_TRUE(kernels::Avx2CompiledIn());
+  }
+}
+
+TEST(KernelsDispatchTest, ForcedIsasAgreeBitForBit) {
+  const Isa original = kernels::ActiveIsa();
+  std::mt19937 rng(131);
+  std::vector<uint32_t> a = RandomAscending(rng, 3000, 6);
+  std::vector<uint32_t> b = RandomAscending(rng, 5000, 4);
+  Graph g = HubMixData();
+  BackwardPlan plan;
+  plan.Add(g, 0);
+  plan.Add(g, 1);
+  plan.Add(g, 2);
+  plan.Add(g, 3);
+
+  kernels::ForceIsaForTesting(Isa::kScalar);
+  EXPECT_EQ(kernels::ActiveIsa(), Isa::kScalar);
+  std::vector<uint32_t> scalar_vals;
+  kernels::IntersectSorted(a, b, scalar_vals);
+  const uint64_t scalar_count = kernels::IntersectCount(a, b);
+  std::vector<uint32_t> scalar_pos;
+  kernels::IntersectPositions(a, b, scalar_pos);
+  std::vector<uint32_t> scalar_fails;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    scalar_fails.push_back(kernels::VerifyBackwardEdges(g, plan, v));
+  }
+
+  if (kernels::Avx2Available()) {
+    kernels::ForceIsaForTesting(Isa::kAvx2);
+    EXPECT_EQ(kernels::ActiveIsa(), Isa::kAvx2);
+    std::vector<uint32_t> vals;
+    kernels::IntersectSorted(a, b, vals);
+    EXPECT_EQ(vals, scalar_vals);
+    EXPECT_EQ(kernels::IntersectCount(a, b), scalar_count);
+    std::vector<uint32_t> pos;
+    kernels::IntersectPositions(a, b, pos);
+    EXPECT_EQ(pos, scalar_pos);
+    std::vector<uint32_t> fails;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      fails.push_back(kernels::VerifyBackwardEdges(g, plan, v));
+    }
+    EXPECT_EQ(fails, scalar_fails);
+  }
+
+  kernels::ForceIsaForTesting(original);
+  EXPECT_EQ(kernels::ActiveIsa(), original);
+}
+
+TEST(KernelsDispatchTest, PrefetchSpanIsAHarmlessHint) {
+  // Purely a smoke test: any pointer/size combination must be safe.
+  std::vector<uint32_t> v(100000);
+  kernels::PrefetchSpan(nullptr, 0);
+  kernels::PrefetchSpan(v.data(), 0);
+  kernels::PrefetchSpan(v.data(), 1);
+  kernels::PrefetchSpan(v.data(), 64);
+  kernels::PrefetchSpan(v.data(), 65);
+  kernels::PrefetchSpan(v.data(), v.size() * sizeof(uint32_t));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cfl

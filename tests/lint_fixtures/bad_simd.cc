@@ -1,0 +1,9 @@
+// Fixture: raw SIMD outside src/kernels/ must fire `raw-simd` — once for
+// the vendor-intrinsic include, once for the intrinsic-bearing line.
+// Never compiled — checked-in input for tests/lint_test.cc.
+#include <immintrin.h>
+
+int LowLane(const int* p) {
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  return _mm256_extract_epi32(v, 0);
+}

@@ -1,0 +1,10 @@
+// Fixture: the same raw SIMD that trips `raw-simd` elsewhere is allowed
+// here — the path contains src/kernels/, the one sanctioned home for
+// vendor intrinsics. Never compiled — checked-in input for
+// tests/lint_test.cc (the raw-simd mini-tree).
+#include <immintrin.h>
+
+int LowLane(const int* p) {
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  return _mm256_extract_epi32(v, 0);
+}

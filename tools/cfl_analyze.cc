@@ -131,19 +131,26 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"check", {}},
       {"obs", {}},
       {"graph", {}},
+      // The SIMD kernel layer sits directly above graph: it needs the hub
+      // bitmap rows (VerifyBackwardEdges) and nothing else.
+      {"kernels", {"graph"}},
       {"gen", {"graph"}},
       {"decomp", {"graph"}},
-      {"cpi", {"graph", "decomp"}},
-      {"order", {"graph", "decomp", "cpi"}},
-      {"validate", {"graph", "decomp", "cpi", "order"}},
-      {"match", {"graph", "decomp", "cpi", "order", "validate"}},
-      {"baseline", {"graph", "decomp", "cpi", "order", "validate", "match"}},
-      {"parallel", {"graph", "decomp", "cpi", "order", "validate", "match"}},
-      {"harness", {"graph", "decomp", "cpi", "order", "validate", "match"}},
+      {"cpi", {"graph", "kernels", "decomp"}},
+      {"order", {"graph", "kernels", "decomp", "cpi"}},
+      {"validate", {"graph", "kernels", "decomp", "cpi", "order"}},
+      {"match", {"graph", "kernels", "decomp", "cpi", "order", "validate"}},
+      {"baseline",
+       {"graph", "kernels", "decomp", "cpi", "order", "validate", "match"}},
+      {"parallel",
+       {"graph", "kernels", "decomp", "cpi", "order", "validate", "match"}},
+      {"harness",
+       {"graph", "kernels", "decomp", "cpi", "order", "validate", "match"}},
       // The serving stack sits at the top: it drives the match engines via
       // both the serial iterator and the parallel sharding primitives.
       {"serve",
-       {"graph", "decomp", "cpi", "order", "validate", "match", "parallel"}},
+       {"graph", "kernels", "decomp", "cpi", "order", "validate", "match",
+        "parallel"}},
   };
   return table;
 }
@@ -406,7 +413,7 @@ void CheckLayering(const std::vector<AnalyzedFile>& files,
            known ? ("module '" + af.module + "' must not include '" +
                     inc.path + "' (module '" + dep +
                     "') — layering back-edge; the DAG is check < obs < "
-                    "graph < {gen,decomp} < cpi < order < validate < match "
+                    "graph < {kernels,gen,decomp} < cpi < order < validate < match "
                     "< {baseline,parallel,harness}")
                  : ("module '" + af.module +
                     "' is not in the layering DAG — add it to AllowedDeps() "

@@ -46,6 +46,7 @@ inline const char kImmutableClass[] = "immutable-class";
 inline const char kConstCast[] = "const-cast";
 inline const char kBannedInclude[] = "banned-include";
 inline const char kRawClock[] = "raw-clock";
+inline const char kRawSimd[] = "raw-simd";
 inline const char kBadAllow[] = "bad-allow";
 
 // cfl_analyze (whole-program rules; see tools/cfl_analyze.cc).
@@ -58,7 +59,8 @@ inline const char kStatsGate[] = "stats-gate";
 inline const std::set<std::string>& LintRules() {
   static const std::set<std::string> rules = {
       kRawAssert, kRawMutex,      kMutableMember, kImmutableClass,
-      kConstCast, kBannedInclude, kRawClock,      kBadAllow};
+      kConstCast, kBannedInclude, kRawClock,      kRawSimd,
+      kBadAllow};
   return rules;
 }
 
