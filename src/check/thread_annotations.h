@@ -91,6 +91,34 @@
 #define CFL_IMMUTABLE_AFTER_BUILD(class_name) \
   static_assert(true, #class_name " is immutable once built")
 
+// Declares a cfl::Mutex member's position in the global lock hierarchy.
+// Every Mutex member must carry one; tools/cfl_analyze (rule `lock-order`)
+// extracts nested MutexLock acquisitions across all translation units and
+// requires that locks only nest in strictly ascending level order, which
+// makes acquisition cycles (and therefore lock-order deadlocks) impossible
+// by construction. Levels are process-global — see the hierarchy table in
+// DESIGN.md §9. Expands to nothing: it is an analyzer marker, not code.
+//
+//   cfl::Mutex mu_ CFL_LOCK_LEVEL(30);
+#define CFL_LOCK_LEVEL(n)
+
+// Declares what a std::atomic member is *for*, so tools/cfl_analyze (rule
+// `atomic-intent`) can check every load/store/fetch_* use site's explicit
+// memory_order against the declared intent:
+//
+//   counter — statistics/budget accumulator; all ops memory_order_relaxed.
+//   flag    — stop/cancel signal with no data dependence; relaxed ops, or
+//             store(release)/load(acquire) when it hands off anything.
+//   publish — pointer/value publication; store(release), load(acquire),
+//             RMW acq_rel (e.g. the kernels.h dispatch-table pointer).
+//
+// Defaulted (seq_cst) orderings are rejected as undeclared intent: if the
+// code does not say what it needs, the analyzer cannot check it and the
+// next reader cannot trust it. Expands to nothing.
+//
+//   std::atomic<bool> stop_ CFL_ATOMIC_INTENT(flag){false};
+#define CFL_ATOMIC_INTENT(intent)
+
 namespace cfl {
 
 class CondVar;

@@ -79,7 +79,7 @@ void ForceIsaForTesting(Isa isa) {
 }
 
 namespace detail {
-std::atomic<const Dispatch*> active_ptr{nullptr};
+std::atomic<const Dispatch*> active_ptr CFL_ATOMIC_INTENT(publish){nullptr};
 
 const Dispatch& ActiveSlow() {
   Dispatch& d = MutableActive();

@@ -44,6 +44,7 @@
 #include <span>
 #include <vector>
 
+#include "check/thread_annotations.h"
 #include "graph/graph.h"
 
 namespace cfl::kernels {
@@ -184,7 +185,7 @@ const Dispatch& ActiveSlow();
 // hot path pays one load + one predictable branch instead of a function
 // call with a static-init guard per kernel invocation. The one-time
 // initialization (and ForceIsaForTesting) goes through ActiveSlow().
-extern std::atomic<const Dispatch*> active_ptr;
+extern std::atomic<const Dispatch*> active_ptr CFL_ATOMIC_INTENT(publish);
 
 inline const Dispatch& Active() {
   const Dispatch* d = active_ptr.load(std::memory_order_acquire);

@@ -70,10 +70,10 @@ MatchResult ParallelCflMatcher::Match(const Graph& q,
   // abandons its subtree at the next visit / next root claim. `next_root`
   // is the work-stealing cursor. The deadline instant is fixed here, before
   // the fork, so all workers expire together regardless of when they start.
-  std::atomic<uint32_t> next_root{0};
-  std::atomic<uint64_t> total{0};
-  std::atomic<bool> stop{false};
-  std::atomic<bool> timed_out{false};
+  std::atomic<uint32_t> next_root CFL_ATOMIC_INTENT(counter){0};
+  std::atomic<uint64_t> total CFL_ATOMIC_INTENT(counter){0};
+  std::atomic<bool> stop CFL_ATOMIC_INTENT(flag){false};
+  std::atomic<bool> timed_out CFL_ATOMIC_INTENT(flag){false};
 
   const Deadline shared_deadline(options.limits.time_limit_seconds);
   const LeafMatcher leaf_prototype(q, cpi, prepared.order.leaves);

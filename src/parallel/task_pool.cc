@@ -57,6 +57,7 @@ void TaskPool::WorkerLoop() noexcept {
     std::function<void()> task;
     {
       MutexLock lock(mu_);
+      // cfl-analyze: allow(blocking-under-lock) idle wait releases mu_
       while (queue_.empty() && !shutdown_) task_ready_.Wait(mu_);
       // Drain-on-shutdown: exit only once the queue is empty, so every
       // submitted task runs and latch waiters cannot be stranded.
@@ -85,6 +86,7 @@ void TaskLatch::CountDown() {
 
 void TaskLatch::Wait() {
   MutexLock lock(mu_);
+  // cfl-analyze: allow(blocking-under-lock) latch barrier: Wait releases mu_
   while (remaining_ != 0) done_.Wait(mu_);
 }
 

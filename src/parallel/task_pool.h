@@ -68,7 +68,7 @@ class TaskPool {
 
   const uint32_t size_;
 
-  Mutex mu_;
+  Mutex mu_ CFL_LOCK_LEVEL(50);
   CondVar task_ready_;  // signaled under mu_: new task or shutdown
 
   std::deque<std::function<void()>> queue_ CFL_GUARDED_BY(mu_);
@@ -95,7 +95,7 @@ class TaskLatch {
   void Wait() CFL_EXCLUDES(mu_);
 
  private:
-  Mutex mu_;
+  Mutex mu_ CFL_LOCK_LEVEL(80);
   CondVar done_;  // signaled under mu_ when remaining_ hits zero
   uint32_t remaining_ CFL_GUARDED_BY(mu_);
 };

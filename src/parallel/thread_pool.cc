@@ -51,6 +51,7 @@ void ThreadPool::Run(const std::function<void(uint32_t)>& body) {
   pending_ = size_;
   ++generation_;
   work_ready_.NotifyAll();
+  // cfl-analyze: allow(blocking-under-lock) join barrier: Wait releases mu_
   while (pending_ != 0) work_done_.Wait(mu_);
   body_ = nullptr;
 }
@@ -62,6 +63,7 @@ void ThreadPool::WorkerLoop(uint32_t worker_id) noexcept {
     {
       MutexLock lock(mu_);
       while (!shutdown_ && generation_ == seen_generation) {
+        // cfl-analyze: allow(blocking-under-lock) idle wait releases mu_
         work_ready_.Wait(mu_);
       }
       if (shutdown_) return;

@@ -66,7 +66,7 @@ class ThreadPool {
 
   const uint32_t size_;
 
-  Mutex mu_;
+  Mutex mu_ CFL_LOCK_LEVEL(10);
   CondVar work_ready_;  // signaled under mu_: new generation or shutdown
   CondVar work_done_;   // signaled under mu_: pending_ reached zero
 

@@ -99,7 +99,7 @@ class PlanCache {
 
   const uint64_t max_bytes_;
 
-  Mutex mu_;
+  Mutex mu_ CFL_LOCK_LEVEL(30);
   // Recency list, front = most recently used; the list *is* the storage.
   std::list<Entry> lru_ CFL_GUARDED_BY(mu_);
   // hash -> entries (multimap: distinct query shapes can share a WL hash).

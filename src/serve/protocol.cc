@@ -52,6 +52,13 @@ std::string FormatF64(double v) {
 
 std::optional<RequestHeader> ParseRequestHeader(const std::string& line,
                                                 std::string* error) {
+  if (line.size() > kMaxRequestLineBytes) {
+    if (error != nullptr) {
+      *error = "request line exceeds " +
+               std::to_string(kMaxRequestLineBytes) + " bytes";
+    }
+    return std::nullopt;
+  }
   std::vector<std::string> tokens = SplitWs(line);
   if (tokens.empty()) {
     if (error != nullptr) *error = "empty request line";

@@ -40,6 +40,13 @@ namespace cfl::serve {
 enum class RequestKind { kQuery, kPing, kStats, kShutdown };
 enum class QueryMode { kCount, kStream };
 
+// Hard cap on the request header line ("QUERY ...", "PING", ...). A sane
+// client fits in a fraction of this; anything longer is rejected before
+// parsing so a garbage-spewing peer gets a bounded ERR, not a bounded-only-
+// by-memory token scan. Graph body lines are not request lines and are
+// capped by the server's read buffer instead.
+inline constexpr size_t kMaxRequestLineBytes = 4096;
+
 struct RequestHeader {
   RequestKind kind = RequestKind::kPing;
   QueryMode mode = QueryMode::kCount;

@@ -62,6 +62,7 @@ MatchLimits QueryScheduler::ClampLimits(const MatchLimits& requested) const {
 
 uint32_t QueryScheduler::AcquireSlot() {
   MutexLock lock(mu_);
+  // cfl-analyze: allow(blocking-under-lock) admission backpressure releases mu_
   while (active_ >= max_concurrent_) slot_free_.Wait(mu_);
   ++active_;
   // Quota at admission time: a lone query gets every worker, a loaded
@@ -121,10 +122,10 @@ MatchResult QueryScheduler::Execute(const Graph& query,
   // so shards that start late (queued behind other queries' shards) expire
   // at the same wall-clock moment: an admitted query's clock runs even
   // while it waits for a worker.
-  std::atomic<uint32_t> next_root{0};
-  std::atomic<uint64_t> total{0};
-  std::atomic<bool> stop{false};
-  std::atomic<bool> timed_out{false};
+  std::atomic<uint32_t> next_root CFL_ATOMIC_INTENT(counter){0};
+  std::atomic<uint64_t> total CFL_ATOMIC_INTENT(counter){0};
+  std::atomic<bool> stop CFL_ATOMIC_INTENT(flag){false};
+  std::atomic<bool> timed_out CFL_ATOMIC_INTENT(flag){false};
 
   const Deadline shared_deadline(limits.time_limit_seconds);
   const LeafMatcher leaf_prototype(query, cpi, prepared.order.leaves);

@@ -111,7 +111,7 @@ class QueryScheduler {
   const uint32_t max_concurrent_;
   TaskPool pool_;
 
-  Mutex mu_;
+  Mutex mu_ CFL_LOCK_LEVEL(40);
   CondVar slot_free_;  // signaled under mu_ when active_ drops
   uint32_t active_ CFL_GUARDED_BY(mu_) = 0;
 };

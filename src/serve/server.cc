@@ -51,8 +51,13 @@ class LineReader {
  public:
   explicit LineReader(int fd) : fd_(fd) {}
 
+  // A peer that streams bytes with no newline would otherwise grow buf_
+  // without bound; past this the connection is dropped as hostile. Large
+  // enough for any legitimate graph body line.
+  static constexpr size_t kMaxBufferedBytes = 1 << 20;
+
   // Next '\n'-terminated line (terminator and any '\r' stripped). False on
-  // EOF or error with no complete buffered line.
+  // EOF, error, or overflow with no complete buffered line.
   bool ReadLine(std::string* line) {
     while (true) {
       size_t nl = buf_.find('\n');
@@ -62,6 +67,7 @@ class LineReader {
         if (!line->empty() && line->back() == '\r') line->pop_back();
         return true;
       }
+      if (buf_.size() > kMaxBufferedBytes) return false;
       char chunk[4096];
       ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
       if (n < 0 && errno == EINTR) continue;
@@ -98,7 +104,7 @@ QueryServer::~QueryServer() {
 }
 
 void QueryServer::RequestShutdown() {
-  if (stop_.exchange(true)) return;
+  if (stop_.exchange(true, std::memory_order_relaxed)) return;
   if (wake_pipe_[1] >= 0) {
     char byte = 1;
     ssize_t rc = write(wake_pipe_[1], &byte, 1);

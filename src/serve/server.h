@@ -116,19 +116,21 @@ class QueryServer {
   const ServeOptions options_;
 
   CflMatcher matcher_;
-  Mutex prepare_mu_;  // CflMatcher::Prepare is not thread-safe
+  // CflMatcher::Prepare is not thread-safe; level 20 < PlanCache's 30
+  // because HandleQuery inserts into the cache under prepare_mu_.
+  Mutex prepare_mu_ CFL_LOCK_LEVEL(20);
   PlanCache cache_;
   QueryScheduler scheduler_;
 
-  std::atomic<bool> stop_{false};
+  std::atomic<bool> stop_ CFL_ATOMIC_INTENT(flag){false};
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // self-pipe: RequestShutdown -> accept loop
   std::string last_error_;
 
-  Mutex conn_mu_;
+  Mutex conn_mu_ CFL_LOCK_LEVEL(60);
   std::set<int> open_fds_ CFL_GUARDED_BY(conn_mu_);
 
-  Mutex counter_mu_;
+  Mutex counter_mu_ CFL_LOCK_LEVEL(70);
   ServerCounters counters_ CFL_GUARDED_BY(counter_mu_);
 
   // Last: sessions join before members they use are destroyed.

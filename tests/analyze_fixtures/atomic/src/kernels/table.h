@@ -1,0 +1,41 @@
+// Fixture: atomic-intent violations. One undeclared atomic, one defaulted
+// (seq_cst) operation, one relaxed store on a publish-intent pointer (the
+// classic broken-publication bug: readers can observe the pointer before
+// the pointee's fields), and one over-strong RMW on a counter. Expected:
+// four [atomic-intent].
+#ifndef FIX_KERNELS_TABLE_H_
+#define FIX_KERNELS_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace fix {
+
+struct Table {
+  uint64_t rows = 0;
+};
+
+class TablePublisher {
+ public:
+  const Table* Active() {
+    return active_.load(std::memory_order_acquire);
+  }
+  void Publish(const Table* table) {
+    active_.store(table, std::memory_order_relaxed);
+  }
+  void Bump() {
+    swaps_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  uint64_t Generation() { return generation_.load(); }
+  void Retire() { retired_.store(true, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<const Table*> active_ CFL_ATOMIC_INTENT(publish){nullptr};
+  std::atomic<uint64_t> swaps_ CFL_ATOMIC_INTENT(counter){0};
+  std::atomic<uint64_t> generation_ CFL_ATOMIC_INTENT(counter){0};
+  std::atomic<bool> retired_{false};
+};
+
+}  // namespace fix
+
+#endif  // FIX_KERNELS_TABLE_H_

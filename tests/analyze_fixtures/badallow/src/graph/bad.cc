@@ -1,7 +1,11 @@
-// Fixture VIOLATION: an allow naming a rule neither tool knows.
+// Fixture VIOLATION: an allow naming a rule neither tool knows, and an
+// analyzer-tag allow with no justification after the rule.
 namespace fix {
 
 // cfl-lint: allow(no-such-rule) this rule id does not exist
 int kValue = 1;
+
+// cfl-analyze: allow(blocking-under-lock)
+int kOther = 2;
 
 }  // namespace fix

@@ -1,0 +1,68 @@
+// Fixture: blocking-under-lock violations. Three blocking shapes while a
+// MutexLock is live — a condvar wait with no allow-directive, a bare
+// syscall (poll), and a TaskPool::Submit — plus one *allowed* condvar wait
+// that must stay silent. Expected: three [blocking-under-lock].
+#ifndef FIX_SERVE_SESSION_H_
+#define FIX_SERVE_SESSION_H_
+
+#include <cstdint>
+
+namespace fix {
+
+class TaskPool {
+ public:
+  void Submit(uint64_t task);
+
+ private:
+  Mutex pool_mu_ CFL_LOCK_LEVEL(30);
+  uint64_t queued_ = 0;
+};
+
+inline void TaskPool::Submit(uint64_t task) {
+  MutexLock lock(pool_mu_);
+  queued_ += task;
+}
+
+class Session {
+ public:
+  uint64_t Take();
+  uint64_t TakeAllowed();
+  void PollUnderLock(int fd);
+  void Enqueue(uint64_t task);
+
+ private:
+  Mutex mu_ CFL_LOCK_LEVEL(10);
+  CondVar ready_;
+  TaskPool pool_;
+  uint64_t depth_ = 0;
+};
+
+inline uint64_t Session::Take() {
+  MutexLock lock(mu_);
+  while (depth_ == 0) ready_.Wait(mu_);
+  depth_ -= 1;
+  return depth_;
+}
+
+inline uint64_t Session::TakeAllowed() {
+  MutexLock lock(mu_);
+  // cfl-analyze: allow(blocking-under-lock) condvar wait releases mu_
+  while (depth_ == 0) ready_.Wait(mu_);
+  depth_ -= 1;
+  return depth_;
+}
+
+inline void Session::PollUnderLock(int fd) {
+  MutexLock lock(mu_);
+  poll(nullptr, 0, fd);
+  depth_ += 1;
+}
+
+inline void Session::Enqueue(uint64_t task) {
+  MutexLock lock(mu_);
+  pool_.Submit(task);
+}
+
+}  // namespace fix
+
+#endif  // FIX_SERVE_SESSION_H_

@@ -7,5 +7,7 @@
 #define CFL_SPAN_INTO(owner)
 #define CFL_POOL_SAFE
 #define CFL_STATS_ONLY(...)
+#define CFL_LOCK_LEVEL(n)
+#define CFL_ATOMIC_INTENT(intent)
 
 #endif  // FIX_CHECK_CHECK_H_

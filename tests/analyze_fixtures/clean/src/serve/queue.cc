@@ -1,0 +1,45 @@
+// Fixture: implementation of the queue.h concurrency surface. Everything
+// here is the clean shape of each rule — the mutation self-test seeds its
+// violations into exactly these lines.
+#include "serve/queue.h"
+
+namespace fix {
+
+void Registry::Record(uint64_t item) {
+  MutexLock lock(reg_mu_);
+  count_ += item;
+}
+
+uint64_t Registry::Count() {
+  MutexLock lock(reg_mu_);
+  return count_;
+}
+
+void WorkQueue::Push(uint64_t item) {
+  MutexLock lock(mu_);
+  depth_ += 1;
+  // Nested acquisition through a call: mu_ (10) -> reg_mu_ (20) ascends.
+  registry_.Record(item);
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  ready_.NotifyOne();
+}
+
+uint64_t WorkQueue::Pop() {
+  MutexLock lock(mu_);
+  // cfl-analyze: allow(blocking-under-lock) condvar wait releases mu_
+  while (depth_ == 0) ready_.Wait(mu_);
+  depth_ -= 1;
+  return depth_;
+}
+
+void WorkQueue::Close() {
+  open_.store(false, std::memory_order_relaxed);
+  ready_.NotifyAll();
+}
+
+void WorkQueue::Flush() {
+  MutexLock lock(mu_);
+  flushed_ = true;
+}
+
+}  // namespace fix

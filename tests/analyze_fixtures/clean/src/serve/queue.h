@@ -1,0 +1,63 @@
+// Fixture: concurrency surface mirrored from src/serve — a work queue plus
+// a registry, exercising every shape the lock-order / blocking-under-lock /
+// atomic-intent passes must accept on a clean tree: ascending nested
+// acquisition (10 -> 20, via a call under lock), an allowed condvar wait,
+// and one atomic of each declared intent.
+#ifndef FIX_SERVE_QUEUE_H_
+#define FIX_SERVE_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "check/check.h"
+
+namespace fix {
+
+struct QueueConfig {
+  uint32_t capacity = 0;
+};
+
+class Registry {
+ public:
+  void Record(uint64_t item);
+  uint64_t Count();
+
+ private:
+  Mutex reg_mu_ CFL_LOCK_LEVEL(20);
+  uint64_t count_ = 0;
+};
+
+class WorkQueue {
+ public:
+  void Push(uint64_t item);
+  uint64_t Pop();
+  void Close();
+  void Flush();
+
+  const QueueConfig* Config() {
+    return config_.load(std::memory_order_acquire);
+  }
+  void PublishConfig(const QueueConfig* config) {
+    config_.store(config, std::memory_order_release);
+  }
+  uint64_t Enqueued() {
+    return enqueued_.load(std::memory_order_relaxed);
+  }
+  bool Open() { return open_.load(std::memory_order_relaxed); }
+
+ private:
+  Mutex mu_ CFL_LOCK_LEVEL(10);
+  CondVar ready_;
+  Registry registry_;
+  uint64_t depth_ = 0;
+  bool flushed_ = false;
+
+  std::atomic<uint64_t> enqueued_ CFL_ATOMIC_INTENT(counter){0};
+  std::atomic<bool> open_ CFL_ATOMIC_INTENT(flag){true};
+  std::atomic<const QueueConfig*> config_ CFL_ATOMIC_INTENT(publish){
+      nullptr};
+};
+
+}  // namespace fix
+
+#endif  // FIX_SERVE_QUEUE_H_

@@ -1,0 +1,67 @@
+// Fixture: lock-order violations. Alpha (level 20) locks itself and then
+// calls into Beta (level 10) — a descending edge — and Beta's locked path
+// calls back into Alpha's locked path, closing a cycle. Gamma's mutex has
+// no CFL_LOCK_LEVEL at all. Expected: one level violation, one cycle, one
+// missing marker — three [lock-order] diagnostics.
+#ifndef FIX_PARALLEL_RING_H_
+#define FIX_PARALLEL_RING_H_
+
+#include <cstdint>
+
+namespace fix {
+
+class Beta;
+
+class Alpha {
+ public:
+  void Poke(Beta& b);
+  void Touch();
+
+ private:
+  Mutex mu_ CFL_LOCK_LEVEL(20);
+  uint64_t hits_ = 0;
+};
+
+class Beta {
+ public:
+  void Poke(Alpha& a);
+
+ private:
+  Mutex mu_ CFL_LOCK_LEVEL(10);
+  uint64_t hits_ = 0;
+};
+
+class Gamma {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_;
+  uint64_t hits_ = 0;
+};
+
+inline void Alpha::Touch() {
+  MutexLock lock(mu_);
+  hits_ += 1;
+}
+
+inline void Alpha::Poke(Beta& b) {
+  MutexLock lock(mu_);
+  hits_ += 1;
+  b.Poke(*this);
+}
+
+inline void Beta::Poke(Alpha& a) {
+  MutexLock lock(mu_);
+  hits_ += 1;
+  a.Touch();
+}
+
+inline void Gamma::Touch() {
+  MutexLock lock(mu_);
+  hits_ += 1;
+}
+
+}  // namespace fix
+
+#endif  // FIX_PARALLEL_RING_H_

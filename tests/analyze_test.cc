@@ -1,9 +1,10 @@
 // cfl_analyze fixture tests: every whole-program rule must fire on its
 // checked-in violating mini-tree, the clean and allow trees must pass, and
-// the mutation self-test proves end-to-end sensitivity — ten violations
-// seeded one at a time into a copy of the clean tree, at least nine of
-// which the analyzer must detect (the acceptance bar for the analyzer
-// being more than a tautology on an already-clean tree).
+// the mutation self-test proves end-to-end sensitivity — sixteen
+// violations (two per rule, concurrency rules included) seeded one at a
+// time into a copy of the clean tree, all but at most one of which the
+// analyzer must detect (the acceptance bar for the analyzer being more
+// than a tautology on an already-clean tree).
 //
 // The analyzer binary path and the fixture directory come in as compile
 // definitions (CFL_ANALYZE_BINARY, CFL_ANALYZE_FIXTURES) from
@@ -14,6 +15,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -119,7 +121,65 @@ TEST(CflAnalyzeTest, StatsGateFiresOnUngatedMutations) {
 TEST(CflAnalyzeTest, BadAllowFiresOnUnknownRule) {
   AnalyzeRun run = RunAnalyze(RootArg(FixtureRoot("badallow")));
   EXPECT_EQ(run.exit_code, 1) << run.output;
-  EXPECT_EQ(CountOccurrences(run.output, "[bad-allow]"), 1) << run.output;
+  // One unknown rule id (lint tag) + one reason-less analyze-tag allow.
+  EXPECT_EQ(CountOccurrences(run.output, "[bad-allow]"), 2) << run.output;
+  EXPECT_NE(run.output.find("missing justification"), std::string::npos)
+      << run.output;
+}
+
+TEST(CflAnalyzeTest, LockOrderFiresOnCycleLevelInversionAndMissingMarker) {
+  AnalyzeRun run = RunAnalyze(RootArg(FixtureRoot("lockorder")));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Missing marker on Gamma, the descending Alpha(20) -> Beta(10) edge,
+  // the Alpha -> Beta -> Alpha cycle, and the transitive re-acquisition of
+  // Alpha::mu_ the cycle implies.
+  EXPECT_EQ(CountOccurrences(run.output, "[lock-order]"), 4) << run.output;
+  EXPECT_NE(run.output.find("no CFL_LOCK_LEVEL"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("must strictly ascend"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("lock-order cycle: Alpha::mu_ -> Beta::mu_"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("recursive acquisition"), std::string::npos)
+      << run.output;
+}
+
+TEST(CflAnalyzeTest, BlockingUnderLockFiresOnWaitSyscallAndSubmit) {
+  AnalyzeRun run = RunAnalyze(RootArg(FixtureRoot("blocking")));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // The un-allowed condvar wait, the poll(2) call, and TaskPool::Submit;
+  // the allow-annotated wait in TakeAllowed must stay silent.
+  EXPECT_EQ(CountOccurrences(run.output, "[blocking-under-lock]"), 3)
+      << run.output;
+  EXPECT_NE(run.output.find("CondVar::Wait parks the thread"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'poll' is a syscall-shaped blocking call"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("TaskPool::Submit"), std::string::npos)
+      << run.output;
+}
+
+TEST(CflAnalyzeTest, AtomicIntentFiresOnAllFourShapes) {
+  AnalyzeRun run = RunAnalyze(RootArg(FixtureRoot("atomic")));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Undeclared atomic, defaulted seq_cst, relaxed publish store, and an
+  // over-strong counter RMW.
+  EXPECT_EQ(CountOccurrences(run.output, "[atomic-intent]"), 4)
+      << run.output;
+  EXPECT_NE(run.output.find("declares no CFL_ATOMIC_INTENT"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("defaults to seq_cst"), std::string::npos)
+      << run.output;
+  EXPECT_NE(
+      run.output.find("publication needs release stores and acquire loads"),
+      std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("counters are relaxed-only"), std::string::npos)
+      << run.output;
 }
 
 TEST(CflAnalyzeTest, JsonModeEmitsMachineReadableReport) {
@@ -183,6 +243,25 @@ const Mutation kMutations[] = {
      "stats_.probes += 1;", "[stats-gate]"},
     {"src/match/match.cc", "CFL_STATS_ONLY(stats_.generated.push_back(v);)",
      "stats_.generated.push_back(v);", "[stats-gate]"},
+    // lock-order
+    {"src/serve/queue.h", "Mutex mu_ CFL_LOCK_LEVEL(10);", "Mutex mu_;",
+     "[lock-order]"},
+    {"src/serve/queue.h", "Mutex reg_mu_ CFL_LOCK_LEVEL(20);",
+     "Mutex reg_mu_ CFL_LOCK_LEVEL(5);", "[lock-order]"},
+    // blocking-under-lock
+    {"src/serve/queue.cc",
+     "// cfl-analyze: allow(blocking-under-lock) condvar wait releases mu_",
+     "// condvar wait releases mu_", "[blocking-under-lock]"},
+    {"src/serve/queue.cc", "flushed_ = true;", "poll(nullptr, 0, 1);",
+     "[blocking-under-lock]"},
+    // atomic-intent
+    {"src/serve/queue.h",
+     "std::atomic<uint64_t> enqueued_ CFL_ATOMIC_INTENT(counter){0};",
+     "std::atomic<uint64_t> enqueued_{0};", "[atomic-intent]"},
+    {"src/serve/queue.h",
+     "config_.store(config, std::memory_order_release);",
+     "config_.store(config, std::memory_order_relaxed);",
+     "[atomic-intent]"},
 };
 
 bool ApplyMutation(const fs::path& root, const Mutation& m) {
@@ -201,7 +280,7 @@ bool ApplyMutation(const fs::path& root, const Mutation& m) {
   return true;
 }
 
-TEST(CflAnalyzeTest, MutationSelfTestDetectsAtLeastNineOfTen) {
+TEST(CflAnalyzeTest, MutationSelfTestDetectsAllButOne) {
   const fs::path clean = FixtureRoot("clean");
   const fs::path base = fs::temp_directory_path() / "cfl_analyze_mutants";
   std::error_code ec;
@@ -232,8 +311,10 @@ TEST(CflAnalyzeTest, MutationSelfTestDetectsAtLeastNineOfTen) {
     }
   }
   fs::remove_all(base, ec);
-  EXPECT_GE(detected, 9) << "only " << detected
-                         << "/10 seeded violations detected:" << misses;
+  const int total = static_cast<int>(std::size(kMutations));
+  EXPECT_GE(detected, total - 1)
+      << "only " << detected << "/" << total
+      << " seeded violations detected:" << misses;
 }
 
 }  // namespace

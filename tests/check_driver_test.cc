@@ -1,0 +1,140 @@
+// cfl_check driver tests: the unified gate runner must merge cfl_lint and
+// cfl_analyze findings, report absent clang wrappers as skipped (never
+// failed), honor --skip, and emit the merged report as the shared JSON
+// schema and as SARIF 2.1.0 — the document CI uploads as an artifact.
+//
+// The driver binary path and the analyzer fixture trees come in as compile
+// definitions (CFL_CHECK_BINARY, CFL_ANALYZE_FIXTURES).
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CheckRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+CheckRun RunCheck(const std::string& args) {
+  std::string cmd =
+      std::string("\"") + CFL_CHECK_BINARY + "\" " + args + " 2>&1";
+  CheckRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    run.output.append(buffer, n);
+  }
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) run.exit_code = WEXITSTATUS(status);
+  return run;
+}
+
+std::string FixtureRoot(const char* name) {
+  return std::string(CFL_ANALYZE_FIXTURES) + "/" + name;
+}
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(CflCheckTest, CleanTreeEveryOwnGateCleanExitZero) {
+  CheckRun run = RunCheck("--root \"" + FixtureRoot("clean") +
+                          "\" --skip tidy,sa");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("cfl_lint: clean"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("cfl_analyze: clean"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("0 finding(s) across 4 gate(s)"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(CflCheckTest, AbsentClangWrappersReportSkippedNotFailed) {
+  // Fixture roots carry no tools/ directory, so both wrappers are absent;
+  // that must read as "skipped", and the exit code must stay 0.
+  CheckRun run = RunCheck("--root \"" + FixtureRoot("clean") + "\"");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("clang-tidy: skipped"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("clang-sa: skipped"), std::string::npos)
+      << run.output;
+}
+
+TEST(CflCheckTest, FindingsMergeIntoJsonAndSarifWithExitOne) {
+  const fs::path dir =
+      fs::temp_directory_path() / "cfl_check_driver_test_out";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+  const fs::path json = dir / "report.json";
+  const fs::path sarif = dir / "report.sarif";
+
+  CheckRun run = RunCheck("--root \"" + FixtureRoot("atomic") +
+                          "\" --skip tidy,sa --json \"" + json.string() +
+                          "\" --sarif \"" + sarif.string() + "\"");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("cfl_analyze: findings"), std::string::npos)
+      << run.output;
+
+  const std::string j = ReadFile(json);
+  EXPECT_NE(j.find("\"tool\":\"cfl_check\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"name\":\"cfl_analyze\",\"status\":\"findings\""),
+            std::string::npos)
+      << j;
+  EXPECT_NE(j.find("\"rule\":\"atomic-intent\""), std::string::npos) << j;
+  // Report URIs are root-relative.
+  EXPECT_NE(j.find("\"file\":\"src/kernels/table.h\""), std::string::npos)
+      << j;
+
+  const std::string s = ReadFile(sarif);
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos) << s;
+  EXPECT_NE(s.find("sarif-2.1.0.json"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"name\": \"cfl_check\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"ruleId\": \"atomic-intent\""), std::string::npos)
+      << s;
+  EXPECT_NE(s.find("\"uri\": \"src/kernels/table.h\""), std::string::npos)
+      << s;
+  EXPECT_NE(s.find("\"startLine\": "), std::string::npos) << s;
+  // Every finding is attributed to its producing gate.
+  EXPECT_NE(s.find("\"gate\": \"cfl_analyze\""), std::string::npos) << s;
+
+  fs::remove_all(dir, ec);
+}
+
+TEST(CflCheckTest, LockOrderFindingsFlowThroughTheDriver) {
+  CheckRun run = RunCheck("--root \"" + FixtureRoot("lockorder") +
+                          "\" --skip tidy,sa");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("[lock-order]"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("lock-order cycle"), std::string::npos)
+      << run.output;
+}
+
+TEST(CflCheckTest, UsageAndEnvironmentErrorsExitTwo) {
+  CheckRun bad_flag = RunCheck("--no-such-flag");
+  EXPECT_EQ(bad_flag.exit_code, 2) << bad_flag.output;
+  CheckRun bad_root = RunCheck("--root /no/such/dir/cfl");
+  EXPECT_EQ(bad_root.exit_code, 2) << bad_root.output;
+  CheckRun bad_skip =
+      RunCheck("--root \"" + FixtureRoot("clean") + "\" --skip nonsense");
+  EXPECT_EQ(bad_skip.exit_code, 2) << bad_skip.output;
+}
+
+}  // namespace

@@ -6,3 +6,7 @@
 int WithUnknownRule();
 
 int WithMissingReason();  // cfl-lint: allow(raw-assert)
+
+// The analyzer's directive tag feeds the same parser: a bare analyze-tag
+// allow (rule but no reason) must fire here too, not wait for cfl_analyze.
+int WithBareAnalyzeAllow();  // cfl-analyze: allow(lock-order)

@@ -10,3 +10,8 @@ class Memo {
   // cfl-lint: allow(mutable-member) fixture: private memo cache, single-threaded by construction
   mutable int last_result_ = 0;
 };
+
+// A well-formed analyze-tag directive (known analyzer rule + reason) is
+// the other tool's suppression: cfl_lint must tolerate it silently.
+// cfl-analyze: allow(blocking-under-lock) fixture: wait releases the mutex
+int AnalyzerSuppressedSite();

@@ -4,9 +4,13 @@
 
 #include "serve/server.h"
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -362,6 +366,19 @@ TEST(ProtocolTest, RequestHeaderRoundTrip) {
   EXPECT_FALSE(serve::ParseRequestHeader("QUERY max=0", &error).has_value());
 }
 
+TEST(ProtocolTest, OversizeRequestLineIsRejectedBeforeParsing) {
+  std::string line = "QUERY mode=count ";
+  line.append(serve::kMaxRequestLineBytes, 'x');
+  std::string error;
+  EXPECT_FALSE(serve::ParseRequestHeader(line, &error).has_value());
+  EXPECT_NE(error.find("request line exceeds"), std::string::npos) << error;
+  // Exactly at the cap is still legal input (it fails on content, with a
+  // content error, proving the size gate let it through).
+  std::string at_cap(serve::kMaxRequestLineBytes, 'y');
+  EXPECT_FALSE(serve::ParseRequestHeader(at_cap, &error).has_value());
+  EXPECT_EQ(error.find("request line exceeds"), std::string::npos) << error;
+}
+
 TEST(ProtocolTest, ResultLineRoundTrip) {
   serve::QueryOutcome outcome;
   outcome.embeddings = 42;
@@ -496,6 +513,172 @@ TEST(QueryServerTest, StreamedRelabeledQueryIsRemappedToClientNumbering) {
   std::set<Embedding> streamed(reply.embeddings.begin(),
                                reply.embeddings.end());
   EXPECT_EQ(streamed, expected);
+}
+
+// Raw byte-level connection for driving the protocol off the happy path —
+// the ServeClient only speaks well-formed exchanges.
+class RawConn {
+ public:
+  explicit RawConn(const std::string& path) {
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  bool Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n =
+          send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* line) {
+    while (true) {
+      size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+TEST(QueryServerTest, MalformedRequestsGetErrAndConnectionStaysUsable) {
+  Graph data = Figure3Data();
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("err");
+  options.workers = 2;
+  ServerFixture fixture(data, options);
+  RawConn conn(fixture.socket_path());
+  ASSERT_TRUE(conn.ok());
+
+  // Every ERR names the problem, and none of them poisons the connection.
+  std::string line;
+  ASSERT_TRUE(conn.Send("FROB\n"));
+  ASSERT_TRUE(conn.ReadLine(&line));
+  EXPECT_EQ(line, "ERR unknown request 'FROB'");
+
+  ASSERT_TRUE(conn.Send("QUERY mode=banana\n"));
+  ASSERT_TRUE(conn.ReadLine(&line));
+  EXPECT_EQ(line, "ERR bad mode 'banana'");
+
+  ASSERT_TRUE(conn.Send("QUERY max=0\n"));
+  ASSERT_TRUE(conn.ReadLine(&line));
+  EXPECT_EQ(line, "ERR bad max '0'");
+
+  ASSERT_TRUE(conn.Send("QUERY mode=count frob=1\n"));
+  ASSERT_TRUE(conn.ReadLine(&line));
+  EXPECT_EQ(line, "ERR unknown QUERY option 'frob'");
+
+  // A well-formed header with a garbage graph body: the body is drained to
+  // END first, so the ERR leaves the stream aligned on request boundaries.
+  ASSERT_TRUE(conn.Send("QUERY mode=count\nnot a graph line\nEND\n"));
+  ASSERT_TRUE(conn.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR bad query graph:", 0), 0u) << line;
+
+  ASSERT_TRUE(conn.Send("PING\n"));
+  ASSERT_TRUE(conn.ReadLine(&line));
+  EXPECT_EQ(line, "PONG");
+
+  // The errors counter saw all five.
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(fixture.socket_path()));
+  EXPECT_EQ(client.Stats()["errors"], 5u);
+}
+
+TEST(QueryServerTest, OversizeRequestLineGetsErrNotUnboundedBuffering) {
+  Graph data = Figure3Data();
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("oversize");
+  ServerFixture fixture(data, options);
+  RawConn conn(fixture.socket_path());
+  ASSERT_TRUE(conn.ok());
+
+  std::string big = "QUERY mode=count ";
+  big.append(2 * serve::kMaxRequestLineBytes, 'x');
+  big += '\n';
+  ASSERT_TRUE(conn.Send(big));
+  std::string line;
+  ASSERT_TRUE(conn.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR request line exceeds", 0), 0u) << line;
+
+  ASSERT_TRUE(conn.Send("PING\n"));
+  ASSERT_TRUE(conn.ReadLine(&line));
+  EXPECT_EQ(line, "PONG");
+}
+
+TEST(QueryServerTest, UnterminatedByteFloodDropsOnlyThatConnection) {
+  Graph data = Figure3Data();
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("flood");
+  ServerFixture fixture(data, options);
+  RawConn hostile(fixture.socket_path());
+  ASSERT_TRUE(hostile.ok());
+
+  // > 1 MiB with no newline: the session's read buffer cap kicks in and the
+  // server hangs up on this peer. The send itself may fail part-way with
+  // EPIPE once the server closes — that is the expected outcome, not an
+  // error, so its return value is deliberately unchecked.
+  std::string flood(64 * 1024, 'z');
+  for (int i = 0; i < 40; ++i) {
+    if (!hostile.Send(flood)) break;
+  }
+  std::string line;
+  EXPECT_FALSE(hostile.ReadLine(&line));  // EOF: dropped without a reply
+
+  // The server itself is unharmed and keeps serving everyone else.
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(fixture.socket_path()));
+  EXPECT_TRUE(client.Ping());
+}
+
+TEST(QueryServerTest, MidRequestDisconnectLeavesServerServing) {
+  Graph data = Figure3Data();
+  Graph q = Figure3Query();
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("disco");
+  options.workers = 2;
+  options.sessions = 2;
+  ServerFixture fixture(data, options);
+
+  {
+    // Vanish mid-QUERY, after the header but before END.
+    RawConn conn(fixture.socket_path());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.Send("QUERY mode=count\nt 2 1\nv 0 0\n"));
+  }  // destructor closes the socket
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(fixture.socket_path()));
+  ASSERT_TRUE(client.Ping());
+  serve::ServeClient::Reply count = client.Count(q);
+  ASSERT_TRUE(count.ok) << count.error;
+  EXPECT_EQ(count.outcome.embeddings, 3u);
 }
 
 TEST(QueryServerTest, ConcurrentMixedQueriesMatchSerialEngine) {

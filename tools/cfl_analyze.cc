@@ -42,9 +42,36 @@
 //                    "stats-off build is bit-identical" contract. The
 //                    counter field list is read from src/obs/stats.h, so
 //                    new counters are covered automatically.
+//   lock-order       every cfl::Mutex member declares its position in the
+//                    global lock hierarchy with CFL_LOCK_LEVEL(n)
+//                    (check/thread_annotations.h). Nested MutexLock
+//                    acquisitions are extracted per function across all
+//                    TUs (including acquisitions reached through calls,
+//                    via a may-acquire fixpoint over the call graph); an
+//                    acquisition edge whose levels do not strictly ascend,
+//                    a recursive acquisition, or any cycle in the
+//                    acquisition graph is an error — deadlock-freedom by
+//                    construction.
+//   blocking-under-lock
+//                    CondVar::Wait-family calls, TaskLatch waits,
+//                    TaskPool::Submit / ThreadPool::Run, thread joins, and
+//                    syscall-shaped calls (read/write/poll/accept/...)
+//                    made while a MutexLock is live in the same function.
+//                    Legitimate sites (condvar wait loops release the
+//                    mutex while parked) carry an explicit
+//                    `// cfl-analyze: allow(blocking-under-lock) <reason>`.
+//   atomic-intent    every std::atomic declaration must say what it is for
+//                    via CFL_ATOMIC_INTENT(counter|flag|publish); each
+//                    load/store/fetch_*/exchange use site must spell its
+//                    memory_order explicitly and the order must match the
+//                    declared intent (counter -> relaxed; publish ->
+//                    release store + acquire load, e.g. the kernels.h
+//                    dispatch pointer). A defaulted (seq_cst) order is an
+//                    undeclared intent, not a safe harbor.
 //
-// Escape hatch: the same `// cfl-lint: allow(<rule>) <reason>` directive
-// cfl_lint uses, with this tool's rule ids. Malformed directives are
+// Escape hatch: the same `allow(<rule>) <reason>` directive cfl_lint uses
+// (either directive tag works — the analyzer's own rules conventionally use
+// the cfl-analyze tag), with this tool's rule ids. Malformed directives are
 // `bad-allow` errors here exactly as there.
 //
 // Exit codes: 0 clean, 1 violations, 2 usage/IO error.
@@ -58,7 +85,9 @@
 // JSON document instead of gcc-style lines.
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <map>
@@ -82,8 +111,11 @@ using cfl::lint::SourceFile;
 using cfl::lint::Token;
 using cfl::lint::Tokenize;
 
+using cfl::lint::kAtomicIntent;
 using cfl::lint::kBadAllow;
+using cfl::lint::kBlockingUnderLock;
 using cfl::lint::kLayering;
+using cfl::lint::kLockOrder;
 using cfl::lint::kNarrowing;
 using cfl::lint::kSpanEscape;
 using cfl::lint::kStatsGate;
@@ -923,6 +955,776 @@ void CheckStatsGate(const AnalyzedFile& af, const ProgramIndex& index,
   }
 }
 
+// ---- concurrency model --------------------------------------------------
+//
+// Shared token-level model for the lock-order and blocking-under-lock
+// rules: every cfl::Mutex member with its declared CFL_LOCK_LEVEL, a
+// program-wide variable-name -> type map for the lockable / waitable types
+// (built the same way IndexPoolVars types ThreadPool variables), and every
+// function *definition* with its body token range so acquisitions can be
+// attributed to a (class, function) and propagated along the call graph.
+
+struct MutexInfo {
+  std::string cls;
+  std::string member;
+  int level = -1;  // -1: marker missing or malformed
+  size_t file_index = 0;
+  int line = 0;
+  int col = 1;
+};
+
+struct FunctionDef {
+  size_t file_index = 0;
+  std::string cls;  // "" for free functions
+  std::string name;
+  size_t body_begin = 0;  // first token inside the body braces
+  size_t body_end = 0;    // one past the last token inside them
+  int line = 0;
+};
+
+struct ConcurrencyModel {
+  // "Cls::member" -> info, and member name -> set of owning keys (for
+  // resolving `MutexLock lock(mu_)` outside the owning class).
+  std::map<std::string, MutexInfo> mutexes;
+  std::map<std::string, std::set<std::string>> members_by_name;
+  // variable / member / parameter name -> possible class types (a name used
+  // with different types in different classes maps to the union — the
+  // analysis is conservative across the aliases).
+  std::map<std::string, std::set<std::string>> var_types;
+  std::vector<FunctionDef> defs;
+  std::map<std::string, std::vector<size_t>> defs_by_name;
+};
+
+bool IsThreadAnnotationsHeader(const AnalyzedFile& af) {
+  return af.rel.find("check/thread_annotations.h") != std::string::npos;
+}
+
+// Scans class bodies (at member level — nested braces and parens skipped)
+// for `Mutex <name> ... ;` members and their CFL_LOCK_LEVEL markers. The
+// wrapper's own header is exempt: it defines Mutex, it does not hold one.
+void CollectMutexMembers(const std::vector<AnalyzedFile>& files,
+                         ConcurrencyModel& model,
+                         std::vector<Diagnostic>& diags) {
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const AnalyzedFile& af = files[fi];
+    if (af.module.empty() || IsThreadAnnotationsHeader(af)) continue;
+    const std::vector<Token>& toks = af.toks;
+    for (const ClassInfo& cls : FindClasses(toks)) {
+      if (cls.name.empty()) continue;
+      size_t i = cls.body_begin;
+      while (i < cls.body_end) {
+        const std::string& t = toks[i].text;
+        if (t == "{") {
+          i = SkipGroup(toks, i, "{", "}");
+          continue;
+        }
+        if (t == "(") {
+          i = SkipGroup(toks, i, "(", ")");
+          continue;
+        }
+        bool decl_head =
+            t == "Mutex" && i + 1 < cls.body_end && IsIdent(toks[i + 1]) &&
+            (i == 0 || (toks[i - 1].text != "class" &&
+                        toks[i - 1].text != "struct" &&
+                        toks[i - 1].text != "friend"));
+        if (!decl_head) {
+          ++i;
+          continue;
+        }
+        const Token& name = toks[i + 1];
+        MutexInfo info;
+        info.cls = cls.name;
+        info.member = name.text;
+        info.file_index = fi;
+        info.line = name.line;
+        info.col = name.col;
+        bool has_marker = false;
+        bool bad_arg = false;
+        size_t j = i + 2;
+        while (j < cls.body_end && toks[j].text != ";") {
+          if (toks[j].text == "CFL_LOCK_LEVEL" && j + 2 < cls.body_end &&
+              toks[j + 1].text == "(") {
+            has_marker = true;
+            const std::string& arg = toks[j + 2].text;
+            bool numeric = !arg.empty();
+            for (char c : arg) {
+              if (!std::isdigit(static_cast<unsigned char>(c)))
+                numeric = false;
+            }
+            if (numeric) {
+              info.level = std::atoi(arg.c_str());
+            } else {
+              bad_arg = true;
+            }
+            j = SkipGroup(toks, j + 1, "(", ")");
+            continue;
+          }
+          if (toks[j].text == "{") {
+            j = SkipGroup(toks, j, "{", "}");
+            continue;
+          }
+          if (toks[j].text == "(") {
+            j = SkipGroup(toks, j, "(", ")");
+            continue;
+          }
+          ++j;
+        }
+        const std::string key = cls.name + "::" + name.text;
+        if (!has_marker) {
+          if (!Allowed(af.src, kLockOrder, name.line)) {
+            diags.push_back(
+                {af.src.path, name.line, name.col, kLockOrder,
+                 "cfl::Mutex member '" + key +
+                     "' has no CFL_LOCK_LEVEL(n) — every mutex must "
+                     "declare its position in the lock hierarchy "
+                     "(check/thread_annotations.h, DESIGN.md §9)"});
+          }
+        } else if (bad_arg) {
+          if (!Allowed(af.src, kLockOrder, name.line)) {
+            diags.push_back({af.src.path, name.line, name.col, kLockOrder,
+                             "CFL_LOCK_LEVEL on '" + key +
+                                 "' must take an integer literal"});
+          }
+        }
+        model.mutexes[key] = info;
+        model.members_by_name[name.text].insert(key);
+        i = j;
+      }
+    }
+  }
+}
+
+// Types whose variables the concurrency rules care about: anything holding
+// a Mutex member, plus the waitable primitives from thread_annotations.h
+// and the pools. `Mutex` itself is deliberately absent — `Mutex&`
+// parameters (CondVar::Wait) are the wrapper's own plumbing.
+void CollectVarTypes(const std::vector<AnalyzedFile>& files,
+                     ConcurrencyModel& model) {
+  std::set<std::string> known = {"CondVar", "TaskPool", "ThreadPool",
+                                 "TaskLatch"};
+  for (const auto& [key, info] : model.mutexes) known.insert(info.cls);
+  for (const AnalyzedFile& af : files) {
+    if (af.module.empty() || IsThreadAnnotationsHeader(af)) continue;
+    const std::vector<Token>& toks = af.toks;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (known.count(toks[i].text) == 0) continue;
+      if (i > 0 && (toks[i - 1].text == "class" ||
+                    toks[i - 1].text == "struct" ||
+                    toks[i - 1].text == "enum" ||
+                    toks[i - 1].text == "friend"))
+        continue;
+      size_t j = i + 1;
+      while (j < toks.size() &&
+             (toks[j].text == "&" || toks[j].text == "*" ||
+              toks[j].text == ">" || toks[j].text == "const"))
+        ++j;
+      if (j < toks.size() && IsIdent(toks[j]) &&
+          !IsKeywordCall(toks[j].text)) {
+        model.var_types[toks[j].text].insert(toks[i].text);
+      }
+    }
+  }
+}
+
+// Records every function *definition* with its body token range. Same
+// declarator walk as IndexFunctions, but it resolves the enclosing class
+// (out-of-line `Cls::name` qualifier first, innermost containing class
+// body otherwise) and follows constructor initializer lists to the body.
+void CollectFunctionDefs(const std::vector<AnalyzedFile>& files,
+                         ConcurrencyModel& model) {
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const AnalyzedFile& af = files[fi];
+    if (af.module.empty()) continue;
+    const std::vector<Token>& toks = af.toks;
+    std::vector<ClassInfo> classes = FindClasses(toks);
+    for (size_t i = 2; i + 1 < toks.size(); ++i) {
+      if (toks[i].text != "(") continue;
+      const Token& name = toks[i - 1];
+      if (!IsIdent(name) || IsKeywordCall(name.text) ||
+          LooksLikeMacro(name.text))
+        continue;
+      std::string cls;
+      const std::string& before = toks[i - 2].text;
+      if (before == "::" && i >= 3 && IsIdent(toks[i - 3])) {
+        cls = toks[i - 3].text;  // Cls::name( — out-of-line definition
+        if (cls == "std") continue;
+      } else if (before == "~") {
+        // Destructor: `~Cls(` inline, or `Cls :: ~ Cls (` out of line.
+        if (i >= 4 && toks[i - 3].text == "::" && IsIdent(toks[i - 4])) {
+          cls = toks[i - 4].text;
+        }
+      } else {
+        bool type_shaped =
+            before == ">" || before == "*" || before == "&" ||
+            (IsIdentChar(before[0]) && !IsKeywordCall(before) &&
+             before != "return" && before != "else" && before != "do" &&
+             before != "case" && !LooksLikeMacro(before));
+        if (!type_shaped) continue;
+      }
+      size_t after_params = SkipGroup(toks, i, "(", ")");
+      size_t j = after_params;
+      int steps = 0;
+      bool found_body = false;
+      bool init_list = false;
+      while (j < toks.size() && steps++ < 32) {
+        const std::string& q = toks[j].text;
+        if (q == "(") {
+          j = SkipGroup(toks, j, "(", ")");
+        } else if (q == "{") {
+          found_body = true;
+          break;
+        } else if (q == ":") {
+          init_list = true;
+          break;
+        } else if (q == ";" || q == "=" || q == ")" || q == "}" ||
+                   q == ",") {
+          break;
+        } else {
+          ++j;
+        }
+      }
+      if (init_list) {
+        // Constructor initializer list: `member(init)` / `member{init}`
+        // groups until a `{` that is NOT a brace-initializer (i.e. not
+        // preceded by an identifier) — that `{` is the body.
+        ++j;
+        while (j < toks.size()) {
+          const std::string& q = toks[j].text;
+          if (q == "(") {
+            j = SkipGroup(toks, j, "(", ")");
+            continue;
+          }
+          if (q == "{") {
+            if (j > 0 && IsIdent(toks[j - 1])) {
+              j = SkipGroup(toks, j, "{", "}");
+              continue;
+            }
+            found_body = true;
+            break;
+          }
+          if (q == ";") break;  // misparse (bit-field, label) — bail
+          ++j;
+        }
+      }
+      if (!found_body || j >= toks.size()) continue;
+      FunctionDef d;
+      d.file_index = fi;
+      d.name = name.text;
+      d.line = name.line;
+      if (cls.empty()) {
+        // Innermost class whose body contains the definition, if any.
+        size_t best_span = static_cast<size_t>(-1);
+        for (const ClassInfo& c : classes) {
+          if (c.name.empty()) continue;
+          if (i >= c.body_begin && i < c.body_end &&
+              c.body_end - c.body_begin < best_span) {
+            best_span = c.body_end - c.body_begin;
+            d.cls = c.name;
+          }
+        }
+      } else {
+        d.cls = cls;
+      }
+      d.body_begin = j + 1;
+      d.body_end = SkipGroup(toks, j, "{", "}") - 1;
+      model.defs_by_name[d.name].push_back(model.defs.size());
+      model.defs.push_back(d);
+    }
+  }
+}
+
+// Resolves the mutex variable named in `MutexLock lock(<var>)`: the
+// enclosing class's member of that name first, then a program-wide unique
+// member name; "" when ambiguous or unknown (the lock still counts as held
+// for blocking-under-lock, it just contributes no ordering edges).
+std::string ResolveMutexVar(const ConcurrencyModel& model,
+                            const std::string& cls, const std::string& var) {
+  if (!cls.empty()) {
+    std::string key = cls + "::" + var;
+    if (model.mutexes.count(key) != 0) return key;
+  }
+  auto it = model.members_by_name.find(var);
+  if (it != model.members_by_name.end() && it->second.size() == 1) {
+    return *it->second.begin();
+  }
+  return "";
+}
+
+// ---- rules: lock-order + blocking-under-lock ----------------------------
+
+void CheckLockDiscipline(const std::vector<AnalyzedFile>& files,
+                         const ConcurrencyModel& model,
+                         std::vector<Diagnostic>& diags) {
+  static const std::set<std::string> kSyscalls = {
+      "read",    "write",   "pread",   "pwrite",  "poll",
+      "accept",  "recv",    "send",    "select",  "connect",
+      "recvmsg", "sendmsg", "usleep",  "sleep",   "nanosleep"};
+  static const std::set<std::string> kPoolBlocking = {"Submit", "Run"};
+
+  struct CallUnderLock {
+    std::vector<std::string> held;  // known mutex keys live at the call
+    size_t callee = 0;              // index into model.defs
+    size_t file_index = 0;
+    int line = 0;
+    int col = 1;
+  };
+  struct EdgeSite {
+    size_t file_index = 0;
+    int line = 0;
+    int col = 1;
+  };
+
+  const size_t n = model.defs.size();
+  std::vector<std::set<std::string>> direct(n);
+  std::vector<std::set<size_t>> callees(n);
+  std::vector<CallUnderLock> deferred;
+  std::map<std::pair<std::string, std::string>, EdgeSite> edges;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      size_t fi, int line, int col) {
+    edges.emplace(std::make_pair(from, to), EdgeSite{fi, line, col});
+  };
+
+  // Resolves a method call `recv.name(...)` to definition indices via the
+  // receiver's possible types; a bare call to same-class methods and free
+  // functions; a qualified call to that class's definitions.
+  auto resolve_typed = [&](const std::set<std::string>& types,
+                           const std::string& name,
+                           std::vector<size_t>& out) {
+    auto it = model.defs_by_name.find(name);
+    if (it == model.defs_by_name.end()) return;
+    for (size_t d : it->second) {
+      if (types.count(model.defs[d].cls) != 0) out.push_back(d);
+    }
+  };
+  auto resolve_bare = [&](const std::string& cls, const std::string& name,
+                          std::vector<size_t>& out) {
+    auto it = model.defs_by_name.find(name);
+    if (it == model.defs_by_name.end()) return;
+    for (size_t d : it->second) {
+      if (model.defs[d].cls == cls || model.defs[d].cls.empty())
+        out.push_back(d);
+    }
+  };
+
+  for (size_t di = 0; di < n; ++di) {
+    const FunctionDef& d = model.defs[di];
+    const AnalyzedFile& af = files[d.file_index];
+    const std::vector<Token>& toks = af.toks;
+
+    struct LiveLock {
+      std::string key;  // "" when unresolved
+      int depth = 0;
+      int line = 0;
+    };
+    std::vector<LiveLock> live;
+    int depth = 0;
+
+    for (size_t i = d.body_begin; i < d.body_end && i < toks.size(); ++i) {
+      const std::string& t = toks[i].text;
+      if (t == "{") {
+        ++depth;
+        continue;
+      }
+      if (t == "}") {
+        --depth;
+        while (!live.empty() && live.back().depth > depth) live.pop_back();
+        continue;
+      }
+      // RAII acquisition: `MutexLock <var>(<mutex>);`
+      if (t == "MutexLock" && i + 2 < d.body_end && IsIdent(toks[i + 1]) &&
+          toks[i + 2].text == "(") {
+        size_t close = SkipGroup(toks, i + 2, "(", ")");
+        std::string var;
+        for (size_t a = i + 3; a + 1 < close; ++a) {
+          if (IsIdent(toks[a])) var = toks[a].text;
+        }
+        std::string key = ResolveMutexVar(model, d.cls, var);
+        if (!key.empty()) {
+          direct[di].insert(key);
+          for (const LiveLock& l : live) {
+            if (!l.key.empty()) {
+              add_edge(l.key, key, d.file_index, toks[i].line, toks[i].col);
+            }
+          }
+        }
+        live.push_back({key, depth, toks[i].line});
+        i = close - 1;
+        continue;
+      }
+      // Call sites.
+      if (!IsIdent(toks[i]) || i + 1 >= d.body_end ||
+          toks[i + 1].text != "(")
+        continue;
+      const std::string& name = toks[i].text;
+      if (IsKeywordCall(name) || LooksLikeMacro(name)) continue;
+
+      const std::string& prev = toks[i - 1].text;
+      bool is_method = false;
+      std::string recv;
+      if (prev == ".") {
+        if (i >= 2) recv = toks[i - 2].text;
+        is_method = true;
+      } else if (prev == ">" && i >= 3 && toks[i - 2].text == "-") {
+        recv = toks[i - 3].text;
+        is_method = true;
+      }
+
+      std::vector<size_t> targets;
+      bool blocking = false;
+      std::string why;
+      if (is_method) {
+        auto vt = model.var_types.find(recv);
+        const bool typed = vt != model.var_types.end();
+        const bool condvar = typed && vt->second.count("CondVar") != 0;
+        if (name == "Wait") {
+          blocking = true;
+          why = condvar ? "CondVar::Wait parks the thread"
+                        : "'" + recv + ".Wait' blocks until signalled";
+        } else if (name == "join") {
+          blocking = true;
+          why = "join blocks until the thread exits";
+        } else if (typed && !condvar && kPoolBlocking.count(name) != 0 &&
+                   (vt->second.count("TaskPool") != 0 ||
+                    vt->second.count("ThreadPool") != 0)) {
+          blocking = true;
+          why = name == "Run"
+                    ? "ThreadPool::Run blocks at the join barrier"
+                    : "TaskPool::Submit takes the pool mutex to queue work";
+        }
+        // CondVar::Wait releases and re-acquires the mutex it is handed —
+        // it is a blocking site, never an ordering edge.
+        if (typed && !condvar) resolve_typed(vt->second, name, targets);
+      } else if (prev == "::") {
+        std::string qual = i >= 2 ? toks[i - 2].text : "";
+        if (qual == "std" || qual.empty()) continue;
+        std::set<std::string> one = {qual};
+        resolve_typed(one, name, targets);
+      } else {
+        if (kSyscalls.count(name) != 0) {
+          blocking = true;
+          why = "'" + name + "' is a syscall-shaped blocking call";
+        }
+        resolve_bare(d.cls, name, targets);
+      }
+
+      if (blocking && !live.empty() &&
+          !Allowed(af.src, kBlockingUnderLock, toks[i].line)) {
+        std::string held = live.back().key.empty() ? "a mutex"
+                                                   : "'" + live.back().key +
+                                                         "' (locked line " +
+                                                         std::to_string(
+                                                             live.back()
+                                                                 .line) +
+                                                         ")";
+        diags.push_back({af.src.path, toks[i].line, toks[i].col,
+                         kBlockingUnderLock,
+                         "blocking call while holding " + held + ": " + why +
+                             " — waiting under a lock stalls every other "
+                             "acquirer (DESIGN.md §9)"});
+      }
+      for (size_t tgt : targets) {
+        if (tgt == di) continue;  // direct recursion: no new facts
+        callees[di].insert(tgt);
+        if (!live.empty()) {
+          CallUnderLock cu;
+          for (const LiveLock& l : live) {
+            if (!l.key.empty()) cu.held.push_back(l.key);
+          }
+          if (!cu.held.empty()) {
+            cu.callee = tgt;
+            cu.file_index = d.file_index;
+            cu.line = toks[i].line;
+            cu.col = toks[i].col;
+            deferred.push_back(cu);
+          }
+        }
+      }
+    }
+  }
+
+  // May-acquire fixpoint over the call graph: what can each function end
+  // up locking, directly or transitively?
+  std::vector<std::set<std::string>> may = direct;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t di = 0; di < n; ++di) {
+      for (size_t c : callees[di]) {
+        for (const std::string& m : may[c]) {
+          if (may[di].insert(m).second) changed = true;
+        }
+      }
+    }
+  }
+  for (const CallUnderLock& cu : deferred) {
+    for (const std::string& acquired : may[cu.callee]) {
+      for (const std::string& held : cu.held) {
+        add_edge(held, acquired, cu.file_index, cu.line, cu.col);
+      }
+    }
+  }
+
+  // Ordering checks over the acquisition edges.
+  auto level_of = [&](const std::string& key) {
+    auto it = model.mutexes.find(key);
+    return it == model.mutexes.end() ? -1 : it->second.level;
+  };
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [edge, site] : edges) {
+    const auto& [from, to] = edge;
+    const AnalyzedFile& af = files[site.file_index];
+    if (from == to) {
+      if (!Allowed(af.src, kLockOrder, site.line)) {
+        diags.push_back({af.src.path, site.line, site.col, kLockOrder,
+                         "mutex '" + from +
+                             "' acquired while already held — recursive "
+                             "acquisition deadlocks cfl::Mutex"});
+      }
+      continue;
+    }
+    adj[from].push_back(to);
+    int lf = level_of(from);
+    int lt = level_of(to);
+    if (lf >= 0 && lt >= 0 && lf >= lt &&
+        !Allowed(af.src, kLockOrder, site.line)) {
+      diags.push_back(
+          {af.src.path, site.line, site.col, kLockOrder,
+           "acquires '" + to + "' (CFL_LOCK_LEVEL " + std::to_string(lt) +
+               ") while holding '" + from + "' (CFL_LOCK_LEVEL " +
+               std::to_string(lf) +
+               ") — lock levels must strictly ascend (DESIGN.md §9)"});
+    }
+  }
+
+  // Cycle detection (grey-set DFS, same scheme as the layering rule).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& m) {
+    color[m] = 1;
+    stack.push_back(m);
+    for (const std::string& nxt : adj[m]) {
+      if (color[nxt] == 1) {
+        std::string chain = nxt;
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          chain = *it + " -> " + chain;
+          if (*it == nxt) break;
+        }
+        if (reported.insert(chain).second) {
+          auto site = edges.find(std::make_pair(m, nxt));
+          if (site != edges.end()) {
+            const AnalyzedFile& af = files[site->second.file_index];
+            if (!Allowed(af.src, kLockOrder, site->second.line)) {
+              diags.push_back({af.src.path, site->second.line,
+                               site->second.col, kLockOrder,
+                               "lock-order cycle: " + chain +
+                                   " — two threads taking this ring from "
+                                   "different entry points deadlock"});
+            }
+          }
+        }
+      } else if (color[nxt] == 0) {
+        dfs(nxt);
+      }
+    }
+    stack.pop_back();
+    color[m] = 2;
+  };
+  for (const auto& [from, tos] : adj) {
+    if (color[from] == 0) dfs(from);
+  }
+}
+
+// ---- rule: atomic-intent ------------------------------------------------
+
+void CheckAtomicIntent(const std::vector<AnalyzedFile>& files,
+                       std::vector<Diagnostic>& diags) {
+  static const std::set<std::string> kIntents = {"counter", "flag",
+                                                 "publish"};
+  static const std::set<std::string> kRmwOps = {
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_weak",
+      "compare_exchange_strong"};
+
+  struct DeclaredAtomic {
+    std::string intent;
+    size_t file_index = 0;
+    int line = 0;
+  };
+  std::map<std::string, DeclaredAtomic> declared;
+
+  // Phase 1: declarations. `std :: atomic < ... >` followed by an
+  // identifier is a storage declaration (followed by `&`/`*` it is a
+  // reference or pointer — the storage is annotated where it lives).
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const AnalyzedFile& af = files[fi];
+    if (af.module.empty()) continue;
+    const std::vector<Token>& toks = af.toks;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (toks[i].text != "std" || toks[i + 1].text != "::" ||
+          toks[i + 2].text != "atomic" || toks[i + 3].text != "<")
+        continue;
+      size_t close = SkipGroup(toks, i + 3, "<", ">");
+      if (close >= toks.size()) continue;
+      const Token& name = toks[close];
+      if (name.text == "&" || name.text == "*") {
+        i = close;
+        continue;
+      }
+      if (!IsIdent(name) || IsKeywordCall(name.text)) {
+        i = close - 1;
+        continue;
+      }
+      // Scan the rest of the declaration for the intent marker; a `,` or
+      // `)` terminator means a non-member context (template argument,
+      // cast) — skip those.
+      std::string intent;
+      bool terminated = false;
+      size_t j = close + 1;
+      int guard = 0;
+      while (j < toks.size() && guard++ < 64) {
+        const std::string& t = toks[j].text;
+        if (t == "(") {
+          if (toks[j - 1].text == "CFL_ATOMIC_INTENT" &&
+              j + 1 < toks.size()) {
+            intent = toks[j + 1].text;
+          }
+          j = SkipGroup(toks, j, "(", ")");
+          continue;
+        }
+        if (t == "{") {
+          j = SkipGroup(toks, j, "{", "}");
+          continue;
+        }
+        if (t == ";") {
+          terminated = true;
+          break;
+        }
+        if (t == "," || t == ")") break;
+        ++j;
+      }
+      i = close;
+      if (!terminated) continue;
+      if (intent.empty()) {
+        if (!Allowed(af.src, kAtomicIntent, name.line)) {
+          diags.push_back(
+              {af.src.path, name.line, name.col, kAtomicIntent,
+               "std::atomic '" + name.text +
+                   "' declares no CFL_ATOMIC_INTENT(counter|flag|publish) "
+                   "— say what the atomic is for so use sites can be "
+                   "checked (check/thread_annotations.h, DESIGN.md §9)"});
+        }
+        continue;
+      }
+      if (kIntents.count(intent) == 0) {
+        if (!Allowed(af.src, kAtomicIntent, name.line)) {
+          diags.push_back({af.src.path, name.line, name.col, kAtomicIntent,
+                           "unknown atomic intent '" + intent +
+                               "' on '" + name.text +
+                               "' — must be counter, flag, or publish"});
+        }
+        continue;
+      }
+      auto it = declared.find(name.text);
+      if (it != declared.end() && it->second.intent != intent) {
+        if (!Allowed(af.src, kAtomicIntent, name.line)) {
+          diags.push_back(
+              {af.src.path, name.line, name.col, kAtomicIntent,
+               "atomic '" + name.text + "' re-declared with intent '" +
+                   intent + "' but '" + it->second.intent +
+                   "' elsewhere (" + files[it->second.file_index].rel +
+                   ":" + std::to_string(it->second.line) +
+                   ") — one name, one protocol"});
+        }
+        continue;
+      }
+      declared[name.text] = {intent, fi, name.line};
+    }
+  }
+
+  // Phase 2: use sites. Every load/store/RMW on a declared atomic must
+  // spell a memory_order, and the order must implement the intent.
+  auto allowed_orders = [](const std::string& intent, bool is_load,
+                           bool is_store) -> std::set<std::string> {
+    if (intent == "counter") return {"memory_order_relaxed"};
+    if (intent == "flag") {
+      if (is_load) return {"memory_order_relaxed", "memory_order_acquire"};
+      if (is_store) return {"memory_order_relaxed", "memory_order_release"};
+      return {"memory_order_relaxed", "memory_order_acquire",
+              "memory_order_release", "memory_order_acq_rel"};
+    }
+    // publish: release the write, acquire the read. RMW success orders may
+    // combine; a CAS failure order is an acquire.
+    if (is_load) return {"memory_order_acquire"};
+    if (is_store) return {"memory_order_release"};
+    return {"memory_order_acq_rel", "memory_order_acquire",
+            "memory_order_release"};
+  };
+
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const AnalyzedFile& af = files[fi];
+    if (af.module.empty()) continue;
+    const std::vector<Token>& toks = af.toks;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (!IsIdent(toks[i])) continue;
+      auto it = declared.find(toks[i].text);
+      if (it == declared.end()) continue;
+      size_t op_at = 0;
+      if (toks[i + 1].text == ".") {
+        op_at = i + 2;
+      } else if (toks[i + 1].text == "-" && toks[i + 2].text == ">") {
+        op_at = i + 3;
+      } else {
+        continue;
+      }
+      if (op_at + 1 >= toks.size() || toks[op_at + 1].text != "(") continue;
+      const std::string& op = toks[op_at].text;
+      const bool is_load = op == "load";
+      const bool is_store = op == "store";
+      const bool is_rmw = kRmwOps.count(op) != 0;
+      if (!is_load && !is_store && !is_rmw) continue;
+      size_t close = SkipGroup(toks, op_at + 1, "(", ")");
+      std::vector<std::string> orders;
+      for (size_t a = op_at + 2; a + 1 < close; ++a) {
+        if (toks[a].text.rfind("memory_order_", 0) == 0) {
+          orders.push_back(toks[a].text);
+        }
+      }
+      const std::string& intent = it->second.intent;
+      const Token& site = toks[op_at];
+      if (orders.empty()) {
+        if (!Allowed(af.src, kAtomicIntent, site.line)) {
+          diags.push_back(
+              {af.src.path, site.line, site.col, kAtomicIntent,
+               "'" + toks[i].text + "." + op +
+                   "' defaults to seq_cst — spell the memory_order "
+                   "explicitly; intent '" + intent +
+                   "' declares what this atomic needs (DESIGN.md §9)"});
+        }
+        continue;
+      }
+      std::set<std::string> ok = allowed_orders(intent, is_load, is_store);
+      for (const std::string& order : orders) {
+        if (ok.count(order) != 0) continue;
+        if (Allowed(af.src, kAtomicIntent, site.line)) continue;
+        diags.push_back({af.src.path, site.line, site.col, kAtomicIntent,
+                         "'" + toks[i].text + "." + op + "' uses " + order +
+                             " but the atomic's declared intent is '" +
+                             intent + "' — " +
+                             (intent == "publish"
+                                  ? "publication needs release stores and "
+                                    "acquire loads"
+                                  : intent == "counter"
+                                        ? "counters are relaxed-only"
+                                        : "flags never need more than "
+                                          "acquire/release")});
+      }
+    }
+  }
+}
+
 // ---- compile_commands.json ----------------------------------------------
 
 // Minimal extraction of the "directory" and "file" string values of each
@@ -1111,6 +1913,13 @@ int main(int argc, char** argv) {
     IndexStatsFields(af, index);
   }
 
+  // Concurrency model: mutex hierarchy, lockable-variable types, function
+  // definitions with body ranges.
+  ConcurrencyModel cmodel;
+  CollectMutexMembers(files, cmodel, diags);
+  CollectVarTypes(files, cmodel);
+  CollectFunctionDefs(files, cmodel);
+
   // Rules.
   CheckLayering(files, diags);
   for (const AnalyzedFile& af : files) {
@@ -1119,6 +1928,8 @@ int main(int argc, char** argv) {
     CheckWorkerNoexcept(af, index, diags);
     CheckStatsGate(af, index, diags);
   }
+  CheckLockDiscipline(files, cmodel, diags);
+  CheckAtomicIntent(files, diags);
 
   cfl::lint::PrintDiagnostics("cfl_analyze", diags, files.size(), json);
   return diags.empty() ? 0 : 1;

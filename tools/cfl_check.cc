@@ -1,0 +1,503 @@
+// cfl_check: the one-shot diagnostics driver. Runs every static gate the
+// tree has — cfl_lint (single-file rules), cfl_analyze (whole-program
+// rules, including the concurrency passes), and the clang-tidy / clang
+// static-analyzer baseline diffs — in a single invocation, merges their
+// findings into one report, and can emit that report as the shared JSON
+// schema the individual tools use and/or as SARIF 2.1.0 for CI annotation
+// and artifact upload.
+//
+// Usage:
+//   cfl_check --root DIR [--build-dir DIR] [--bin-dir DIR]
+//             [--json FILE] [--sarif FILE] [--skip lint,analyze,tidy,sa]
+//
+// The sibling cfl_lint / cfl_analyze binaries are located next to this
+// executable (override with --bin-dir); the clang wrappers are
+// DIR/tools/run_clang_{tidy,sa}.sh. A wrapper that exits 2 (toolchain not
+// installed, no baseline) is reported as skipped, not failed — the
+// project's own gates never depend on an external toolchain being present.
+//
+// Exit codes: 0 every gate clean, 1 findings, 2 usage/environment error.
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_common.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using cfl::lint::Diagnostic;
+using cfl::lint::JsonEscape;
+
+struct GateResult {
+  std::string name;     // "cfl_lint", "cfl_analyze", "clang-tidy", "clang-sa"
+  std::string status;   // "clean", "findings", "skipped", "error"
+  std::string detail;   // one-line human summary
+  std::vector<Diagnostic> diags;
+};
+
+// ---- child processes ----------------------------------------------------
+
+// Runs `cmd` capturing stdout+stderr; returns the child's exit code or -1.
+int RunCapture(const std::string& cmd, std::string& out) {
+  out.clear();
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  std::array<char, 4096> buf;
+  size_t n;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out.append(buf.data(), n);
+  }
+  int status = pclose(pipe);
+  if (status < 0) return -1;
+#if defined(WIFEXITED)
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+#else
+  return status;
+#endif
+}
+
+std::string ShellQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+// ---- parsing the tools' own JSON ----------------------------------------
+
+// Minimal extraction for the schema lint_common.h emits — each diagnostic
+// is one object with string values "file", "rule", "message" and integer
+// values "line", "col". Not a general JSON parser; it only needs to read
+// what PrintDiagnostics writes.
+
+// Reads the JSON string starting at the opening quote s[at]; returns the
+// unescaped value and leaves `at` one past the closing quote.
+std::string ReadJsonString(const std::string& s, size_t& at) {
+  std::string out;
+  ++at;  // opening quote
+  while (at < s.size() && s[at] != '"') {
+    if (s[at] == '\\' && at + 1 < s.size()) {
+      char e = s[at + 1];
+      switch (e) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'u':
+          // Only control characters are \u-escaped by JsonEscape; decode
+          // the low byte and drop the rest.
+          if (at + 5 < s.size()) {
+            out.push_back(static_cast<char>(
+                std::strtol(s.substr(at + 2, 4).c_str(), nullptr, 16)));
+            at += 4;
+          }
+          break;
+        default: out.push_back(e);
+      }
+      at += 2;
+    } else {
+      out.push_back(s[at]);
+      ++at;
+    }
+  }
+  ++at;  // closing quote
+  return out;
+}
+
+bool FindKey(const std::string& obj, const std::string& key, size_t& at) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = obj.find(needle, at);
+  if (pos == std::string::npos) return false;
+  at = pos + needle.size();
+  return true;
+}
+
+// Parses every diagnostic object out of a tool's --json document.
+std::vector<Diagnostic> ParseToolJson(const std::string& doc) {
+  std::vector<Diagnostic> out;
+  size_t at = doc.find("\"diagnostics\":");
+  if (at == std::string::npos) return out;
+  while (true) {
+    size_t obj = doc.find("{\"file\":", at);
+    if (obj == std::string::npos) break;
+    Diagnostic d;
+    size_t p = obj;
+    if (FindKey(doc, "file", p)) d.file = ReadJsonString(doc, p);
+    p = obj;
+    if (FindKey(doc, "line", p)) d.line = std::atoi(doc.c_str() + p);
+    p = obj;
+    if (FindKey(doc, "col", p)) d.col = std::atoi(doc.c_str() + p);
+    p = obj;
+    if (FindKey(doc, "rule", p)) d.rule = ReadJsonString(doc, p);
+    p = obj;
+    if (FindKey(doc, "message", p)) d.message = ReadJsonString(doc, p);
+    out.push_back(d);
+    at = obj + 1;
+  }
+  return out;
+}
+
+// ---- parsing the clang wrappers' NEW-findings reports -------------------
+
+// After the "NEW findings not in the baseline:" marker every two-space
+// indented `file: severity: message` line is one finding (line numbers are
+// normalized away by the wrappers; SARIF regions default to line 1).
+std::vector<Diagnostic> ParseWrapperFindings(const std::string& out,
+                                             const std::string& rule) {
+  std::vector<Diagnostic> diags;
+  std::istringstream in(out);
+  std::string line;
+  bool in_new = false;
+  while (std::getline(in, line)) {
+    if (line.find("NEW findings not in the baseline:") != std::string::npos) {
+      in_new = true;
+      continue;
+    }
+    if (!in_new) continue;
+    if (line.size() < 3 || line.compare(0, 2, "  ") != 0) {
+      in_new = false;
+      continue;
+    }
+    std::string entry = line.substr(2);
+    size_t colon = entry.find(':');
+    if (colon == std::string::npos) continue;
+    Diagnostic d;
+    d.file = entry.substr(0, colon);
+    d.line = 1;
+    d.col = 1;
+    d.rule = rule;
+    d.message = entry.substr(colon + 1);
+    while (!d.message.empty() && d.message.front() == ' ') {
+      d.message.erase(d.message.begin());
+    }
+    diags.push_back(d);
+  }
+  return diags;
+}
+
+// ---- report emission ----------------------------------------------------
+
+// Repo-relative forward-slash path for report URIs.
+std::string RelUri(const std::string& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path p(file);
+  fs::path rel = p.lexically_proximate(root);
+  std::string s = rel.generic_string();
+  if (s.compare(0, 2, "./") == 0) s = s.substr(2);
+  if (s.compare(0, 3, "../") == 0) return fs::path(file).generic_string();
+  return s;
+}
+
+void WriteJsonReport(std::ostream& os, const std::vector<GateResult>& gates,
+                     const fs::path& root) {
+  size_t total = 0;
+  for (const GateResult& g : gates) total += g.diags.size();
+  os << "{\"tool\":\"cfl_check\",\"errors\":" << total << ",\"gates\":[";
+  for (size_t gi = 0; gi < gates.size(); ++gi) {
+    const GateResult& g = gates[gi];
+    if (gi != 0) os << ",";
+    os << "\n {\"name\":\"" << JsonEscape(g.name) << "\",\"status\":\""
+       << JsonEscape(g.status) << "\",\"errors\":" << g.diags.size()
+       << ",\"diagnostics\":[";
+    for (size_t i = 0; i < g.diags.size(); ++i) {
+      const Diagnostic& d = g.diags[i];
+      if (i != 0) os << ",";
+      os << "\n  {\"file\":\"" << JsonEscape(RelUri(d.file, root))
+         << "\",\"line\":" << d.line << ",\"col\":" << d.col
+         << ",\"rule\":\"" << JsonEscape(d.rule) << "\",\"message\":\""
+         << JsonEscape(d.message) << "\"}";
+    }
+    if (!g.diags.empty()) os << "\n ";
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+void WriteSarif(std::ostream& os, const std::vector<GateResult>& gates,
+                const fs::path& root) {
+  // One run, one driver; the source gate is carried per-result in
+  // properties so CI annotations stay attributable.
+  std::set<std::string> rule_ids;
+  for (const GateResult& g : gates) {
+    for (const Diagnostic& d : g.diags) rule_ids.insert(d.rule);
+  }
+  os << "{\n"
+     << " \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << " \"version\": \"2.1.0\",\n"
+     << " \"runs\": [\n  {\n   \"tool\": {\n    \"driver\": {\n"
+     << "     \"name\": \"cfl_check\",\n"
+     << "     \"informationUri\": "
+        "\"https://github.com/cfl-match/cfl-match\",\n"
+     << "     \"rules\": [";
+  size_t ri = 0;
+  for (const std::string& id : rule_ids) {
+    if (ri++ != 0) os << ",";
+    os << "\n      {\"id\": \"" << JsonEscape(id) << "\"}";
+  }
+  if (!rule_ids.empty()) os << "\n     ";
+  os << "]\n    }\n   },\n   \"results\": [";
+  size_t out_i = 0;
+  for (const GateResult& g : gates) {
+    for (const Diagnostic& d : g.diags) {
+      if (out_i++ != 0) os << ",";
+      os << "\n    {\n     \"ruleId\": \"" << JsonEscape(d.rule) << "\",\n"
+         << "     \"level\": \"error\",\n"
+         << "     \"message\": {\"text\": \"" << JsonEscape(d.message)
+         << "\"},\n"
+         << "     \"locations\": [{\"physicalLocation\": "
+            "{\"artifactLocation\": {\"uri\": \""
+         << JsonEscape(RelUri(d.file, root))
+         << "\"}, \"region\": {\"startLine\": " << (d.line > 0 ? d.line : 1)
+         << ", \"startColumn\": " << (d.col > 0 ? d.col : 1) << "}}}],\n"
+         << "     \"properties\": {\"gate\": \"" << JsonEscape(g.name)
+         << "\"}\n    }";
+    }
+  }
+  if (out_i != 0) os << "\n   ";
+  os << "]\n  }\n ]\n}\n";
+}
+
+// ---- driver -------------------------------------------------------------
+
+int Usage(int code) {
+  std::cerr
+      << "usage: cfl_check --root DIR [--build-dir DIR] [--bin-dir DIR]\n"
+      << "                 [--json FILE] [--sarif FILE]\n"
+      << "                 [--skip lint,analyze,tidy,sa]\n"
+      << "  Runs cfl_lint, cfl_analyze, and the clang-tidy / clang-sa\n"
+      << "  baseline diffs in one invocation and merges the findings.\n"
+      << "  --json / --sarif write the merged report (shared JSON schema /\n"
+      << "  SARIF 2.1.0); --skip drops gates; a clang wrapper without its\n"
+      << "  toolchain is reported as skipped, never as a failure.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path bin_dir;
+  std::string build_dir;
+  std::string json_path;
+  std::string sarif_path;
+  std::set<std::string> skip;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) return Usage(2);
+      root = v;
+    } else if (arg == "--bin-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(2);
+      bin_dir = v;
+    } else if (arg == "--build-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(2);
+      build_dir = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return Usage(2);
+      json_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = next();
+      if (v == nullptr) return Usage(2);
+      sarif_path = v;
+    } else if (arg == "--skip") {
+      const char* v = next();
+      if (v == nullptr) return Usage(2);
+      std::string list = v;
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        std::string item = list.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        if (!item.empty()) {
+          if (item != "lint" && item != "analyze" && item != "tidy" &&
+              item != "sa") {
+            std::cerr << "cfl_check: unknown gate '" << item
+                      << "' in --skip\n";
+            return Usage(2);
+          }
+          skip.insert(item);
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(0);
+    } else {
+      std::cerr << "cfl_check: unknown argument " << arg << "\n";
+      return Usage(2);
+    }
+  }
+
+  std::error_code ec;
+  if (!fs::is_directory(root / "src", ec)) {
+    std::cerr << "cfl_check: no src/ under " << root << "\n";
+    return 2;
+  }
+  if (bin_dir.empty()) {
+    bin_dir = fs::path(argv[0]).parent_path();
+    if (bin_dir.empty()) bin_dir = ".";
+  }
+
+  std::vector<GateResult> gates;
+  bool environment_error = false;
+
+  // The project's own gates: required — a missing binary is an error.
+  struct OwnGate {
+    const char* skip_key;
+    const char* name;
+    const char* binary;
+  };
+  for (const OwnGate& own : {OwnGate{"lint", "cfl_lint", "cfl_lint"},
+                             OwnGate{"analyze", "cfl_analyze",
+                                     "cfl_analyze"}}) {
+    if (skip.count(own.skip_key) != 0) {
+      gates.push_back({own.name, "skipped", "skipped by --skip", {}});
+      continue;
+    }
+    fs::path bin = bin_dir / own.binary;
+    GateResult g;
+    g.name = own.name;
+    if (!fs::exists(bin, ec)) {
+      g.status = "error";
+      g.detail = "binary not found at " + bin.string() +
+                 " (build it, or pass --bin-dir)";
+      environment_error = true;
+      gates.push_back(g);
+      continue;
+    }
+    std::string out;
+    int code = RunCapture(ShellQuote(bin.string()) + " --root " +
+                              ShellQuote(root.string()) + " --json",
+                          out);
+    if (code != 0 && code != 1) {
+      g.status = "error";
+      g.detail = own.name + std::string(" exited ") + std::to_string(code);
+      environment_error = true;
+    } else {
+      g.diags = ParseToolJson(out);
+      g.status = g.diags.empty() ? "clean" : "findings";
+      g.detail = std::to_string(g.diags.size()) + " finding(s)";
+    }
+    gates.push_back(g);
+  }
+
+  // The clang wrappers: best-effort — exit 2 means the toolchain or the
+  // baseline is absent, which is an environment fact, not a finding.
+  struct Wrapper {
+    const char* skip_key;
+    const char* name;
+    const char* script;
+    const char* rule;
+    bool pass_build_dir;
+  };
+  for (const Wrapper& w :
+       {Wrapper{"tidy", "clang-tidy", "run_clang_tidy.sh",
+                "clang-tidy-baseline", true},
+        Wrapper{"sa", "clang-sa", "run_clang_sa.sh", "clang-sa-baseline",
+                false}}) {
+    if (skip.count(w.skip_key) != 0) {
+      gates.push_back({w.name, "skipped", "skipped by --skip", {}});
+      continue;
+    }
+    fs::path script = root / "tools" / w.script;
+    GateResult g;
+    g.name = w.name;
+    if (!fs::exists(script, ec)) {
+      g.status = "skipped";
+      g.detail = "no " + std::string(w.script) + " under " +
+                 (root / "tools").string();
+      gates.push_back(g);
+      continue;
+    }
+    std::string cmd = ShellQuote(script.string());
+    if (w.pass_build_dir && !build_dir.empty()) {
+      cmd += " " + ShellQuote(build_dir);
+    }
+    std::string out;
+    int code = RunCapture(cmd, out);
+    if (code == 0) {
+      g.status = "clean";
+      g.detail = "no new findings vs baseline";
+    } else if (code == 1) {
+      g.diags = ParseWrapperFindings(out, w.rule);
+      if (g.diags.empty()) {
+        // Exit 1 without parseable findings: surface the raw tail.
+        Diagnostic d;
+        d.file = script.string();
+        d.line = 1;
+        d.col = 1;
+        d.rule = w.rule;
+        d.message = "wrapper reported new findings (see its output)";
+        g.diags.push_back(d);
+      }
+      g.status = "findings";
+      g.detail = std::to_string(g.diags.size()) + " new finding(s)";
+    } else {
+      g.status = "skipped";
+      g.detail = "toolchain unavailable (wrapper exited " +
+                 std::to_string(code) + ")";
+    }
+    gates.push_back(g);
+  }
+
+  // Human summary + per-finding lines.
+  size_t total = 0;
+  for (const GateResult& g : gates) {
+    std::cout << "cfl_check: " << g.name << ": " << g.status;
+    if (!g.detail.empty()) std::cout << " (" << g.detail << ")";
+    std::cout << "\n";
+    for (const Diagnostic& d : g.diags) {
+      std::cout << "  " << RelUri(d.file, root) << ":" << d.line << ":"
+                << d.col << ": [" << d.rule << "] " << d.message << "\n";
+    }
+    total += g.diags.size();
+  }
+  std::cout << "cfl_check: " << total << " finding(s) across " << gates.size()
+            << " gate(s)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::cerr << "cfl_check: cannot write " << json_path << "\n";
+      return 2;
+    }
+    WriteJsonReport(f, gates, root);
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream f(sarif_path);
+    if (!f) {
+      std::cerr << "cfl_check: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    WriteSarif(f, gates, root);
+  }
+
+  if (environment_error) return 2;
+  return total == 0 ? 0 : 1;
+}

@@ -55,6 +55,9 @@ inline const char kSpanEscape[] = "span-escape";
 inline const char kNarrowing[] = "narrowing";
 inline const char kWorkerNoexcept[] = "worker-noexcept";
 inline const char kStatsGate[] = "stats-gate";
+inline const char kLockOrder[] = "lock-order";
+inline const char kBlockingUnderLock[] = "blocking-under-lock";
+inline const char kAtomicIntent[] = "atomic-intent";
 
 inline const std::set<std::string>& LintRules() {
   static const std::set<std::string> rules = {
@@ -66,8 +69,9 @@ inline const std::set<std::string>& LintRules() {
 
 inline const std::set<std::string>& AnalyzeRules() {
   static const std::set<std::string> rules = {
-      kLayering, kSpanEscape, kNarrowing, kWorkerNoexcept, kStatsGate,
-      kBadAllow};
+      kLayering,   kSpanEscape,        kNarrowing,    kWorkerNoexcept,
+      kStatsGate,  kLockOrder,         kBlockingUnderLock,
+      kAtomicIntent, kBadAllow};
   return rules;
 }
 
@@ -390,19 +394,31 @@ inline bool IsRuleShaped(const std::string& s) {
   return true;
 }
 
-// Parses every allow-directive in the file. Rule ids are validated against
-// the *union* of both tools' rules, so each tool tolerates (and neither
-// double-reports) the other's suppressions.
+// Parses every allow-directive in the file. Two directive tags exist — the
+// lint tag for single-file lint rules and the analyze tag for the
+// whole-program analyzer — but both feed one parser: rule ids are validated
+// against the *union* of both tools' rules, so each tool tolerates (and
+// neither double-reports) the other's suppressions, and every directive
+// needs a non-empty reason regardless of tag.
 inline void ParseAllows(SourceFile& f) {
-  // Assembled so the tools' own sources do not contain the literal tag.
-  const std::string tag = std::string("cfl-lint") + ":";
+  // Assembled so the tools' own sources do not contain the literal tags.
+  const std::string tags[] = {std::string("cfl-lint") + ":",
+                              std::string("cfl-analyze") + ":"};
   for (size_t i = 0; i < f.raw_lines.size(); ++i) {
     const std::string& line = f.raw_lines[i];
-    size_t at = line.find(tag);
+    size_t at = std::string::npos;
+    size_t tag_len = 0;
+    for (const std::string& tag : tags) {
+      size_t pos = line.find(tag);
+      if (pos != std::string::npos && (at == std::string::npos || pos < at)) {
+        at = pos;
+        tag_len = tag.size();
+      }
+    }
     if (at == std::string::npos) continue;
     Allow allow;
     allow.line = static_cast<int>(i + 1);
-    std::string rest = Trim(line.substr(at + tag.size()));
+    std::string rest = Trim(line.substr(at + tag_len));
     const std::string kw = "allow(";
     if (rest.compare(0, kw.size(), kw) != 0) {
       allow.problem =

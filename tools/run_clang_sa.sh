@@ -73,7 +73,22 @@ if [[ ! -f "${baseline}" ]]; then
        "--update-baseline to create one" >&2
   exit 2
 fi
-grep -v '^#' "${baseline}" | sort -u > "${raw}.base"
+# Load the baseline, pruning entries whose file no longer exists (same
+# policy as run_clang_tidy.sh: stale entries must not accumulate).
+pruned=0
+: > "${raw}.base"
+while IFS= read -r entry; do
+  entry_file="${entry%%:*}"
+  if [[ -f "${repo_root}/${entry_file}" ]]; then
+    printf '%s\n' "${entry}" >> "${raw}.base"
+  else
+    pruned=$((pruned + 1))
+  fi
+done < <(grep -v '^#' "${baseline}" | sort -u)
+if [[ ${pruned} -gt 0 ]]; then
+  echo "run_clang_sa.sh: pruned ${pruned} baseline entries for deleted" \
+       "files (rewrite the baseline with --update-baseline)"
+fi
 
 new_findings="$(comm -13 "${raw}.base" "${raw}.cur")"
 resolved="$(comm -23 "${raw}.base" "${raw}.cur")"
