@@ -1,0 +1,107 @@
+#include "dyn/epoch.h"
+
+#include "check/check.h"
+
+namespace cfl::dyn {
+
+EpochRef::~EpochRef() {
+  if (manager_ != nullptr) Release();
+}
+
+EpochRef::EpochRef(EpochRef&& other) noexcept
+    : manager_(other.manager_), epoch_(other.epoch_) {
+  other.manager_ = nullptr;
+}
+
+EpochRef& EpochRef::operator=(EpochRef&& other) noexcept {
+  if (this != &other) {
+    if (manager_ != nullptr) Release();
+    manager_ = other.manager_;
+    epoch_ = other.epoch_;
+    other.manager_ = nullptr;
+  }
+  return *this;
+}
+
+void EpochRef::Release() {
+  CFL_CHECK(manager_ != nullptr)
+      << " EpochRef double release (epoch " << epoch_ << ")";
+  manager_->Unpin(epoch_);
+  manager_ = nullptr;
+}
+
+EpochManager::~EpochManager() {
+  MutexLock lock(mu_);
+  CFL_CHECK(pins_.empty())
+      << " EpochManager destroyed with " << pins_.size()
+      << " epoch(s) still pinned — an EpochRef leaked";
+}
+
+EpochRef EpochManager::Pin() {
+  MutexLock lock(mu_);
+  pins_[current_]++;
+  return EpochRef(this, current_);
+}
+
+Epoch EpochManager::current() {
+  MutexLock lock(mu_);
+  return current_;
+}
+
+Epoch EpochManager::Advance() {
+  MutexLock lock(mu_);
+  return ++current_;
+}
+
+uint32_t EpochManager::PinCount(Epoch epoch) {
+  MutexLock lock(mu_);
+  auto it = pins_.find(epoch);
+  return it == pins_.end() ? 0 : it->second;
+}
+
+uint32_t EpochManager::PinnedAtOrBelow(Epoch epoch) {
+  MutexLock lock(mu_);
+  uint32_t count = 0;
+  for (const auto& [e, c] : pins_) {
+    if (e > epoch) break;  // map is ordered
+    count += c;
+  }
+  return count;
+}
+
+bool EpochManager::WaitUntilDrained(Epoch epoch) {
+  MutexLock lock(mu_);
+  for (;;) {
+    if (cancelled_) return false;
+    bool pinned = false;
+    for (const auto& [e, c] : pins_) {
+      if (e > epoch) break;
+      if (c > 0) {
+        pinned = true;
+        break;
+      }
+    }
+    if (!pinned) return true;
+    // cfl-analyze: allow(blocking-under-lock) condvar wait releases mu_
+    drained_.Wait(mu_);
+  }
+}
+
+void EpochManager::Cancel() {
+  MutexLock lock(mu_);
+  cancelled_ = true;
+  drained_.NotifyAll();
+}
+
+void EpochManager::Unpin(Epoch epoch) {
+  MutexLock lock(mu_);
+  auto it = pins_.find(epoch);
+  CFL_CHECK(it != pins_.end() && it->second > 0)
+      << " Unpin of epoch " << epoch << " with no outstanding pins";
+  if (--it->second == 0) {
+    pins_.erase(it);
+    drained_.NotifyAll();
+  }
+}
+
+}  // namespace cfl::dyn

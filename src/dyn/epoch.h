@@ -1,0 +1,117 @@
+// Epoch pinning: which snapshots are still being read.
+//
+// Every committed delta advances a monotonically increasing epoch counter;
+// each epoch has one immutable `Graph` snapshot. A query pins the epoch it
+// starts on by holding an `EpochRef` (RAII) for as long as it reads the
+// snapshot; the compactor (dyn/dynamic_graph.h) may retire a superseded
+// snapshot's memory and fold forward only after every ref on older epochs
+// is released — `WaitUntilDrained` is that barrier.
+//
+// The protocol is deliberately strict, and death-tested
+// (tests/dyn_epoch_test.cc):
+//   * releasing a ref twice is a CFL_CHECK failure (a double release would
+//     let the compactor free a snapshot another query still reads);
+//   * destroying the manager with refs outstanding is a CFL_CHECK failure
+//     (the leaked ref's query would read a freed snapshot).
+//
+// Thread safety: all methods lock the manager's mutex (level 24 — above
+// DynamicGraph's 22, so pinning from inside the graph's locked Acquire path
+// nests in ascending order; see DESIGN.md §9). EpochRef itself is not
+// thread-safe: one ref belongs to one query.
+
+#ifndef CFL_DYN_EPOCH_H_
+#define CFL_DYN_EPOCH_H_
+
+#include <cstdint>
+#include <map>
+
+#include "check/thread_annotations.h"
+
+namespace cfl::dyn {
+
+using Epoch = uint64_t;
+
+class EpochManager;
+
+// Move-only handle: "some query is still reading epoch `epoch()`".
+// Released on destruction or by an explicit Release() (exactly once).
+class EpochRef {
+ public:
+  EpochRef() = default;
+  ~EpochRef();
+
+  EpochRef(EpochRef&& other) noexcept;
+  EpochRef& operator=(EpochRef&& other) noexcept;
+
+  EpochRef(const EpochRef&) = delete;
+  EpochRef& operator=(const EpochRef&) = delete;
+
+  // Unpins. Calling this on an empty (released or moved-from) ref dies:
+  // a double release is always a lifetime bug upstream.
+  void Release();
+
+  bool held() const { return manager_ != nullptr; }
+  Epoch epoch() const { return epoch_; }
+
+ private:
+  friend class EpochManager;
+  EpochRef(EpochManager* manager, Epoch epoch)
+      : manager_(manager), epoch_(epoch) {}
+
+  EpochManager* manager_ = nullptr;
+  Epoch epoch_ = 0;
+};
+
+class EpochManager {
+ public:
+  EpochManager() = default;
+
+  // Dies if any ref is still outstanding (see header comment).
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Pins the current epoch. The caller typically holds DynamicGraph's
+  // mutex (level 22) so the pinned epoch and the snapshot pointer it read
+  // are consistent; this method's own lock (24) nests above it.
+  EpochRef Pin() CFL_EXCLUDES(mu_);
+
+  Epoch current() CFL_EXCLUDES(mu_);
+
+  // Commits the next epoch and returns it.
+  Epoch Advance() CFL_EXCLUDES(mu_);
+
+  // Outstanding refs on exactly `epoch`.
+  uint32_t PinCount(Epoch epoch) CFL_EXCLUDES(mu_);
+
+  // Outstanding refs on any epoch <= `epoch`.
+  uint32_t PinnedAtOrBelow(Epoch epoch) CFL_EXCLUDES(mu_);
+
+  // Blocks until no ref on any epoch <= `epoch` remains. Returns true when
+  // drained, false if Cancel() interrupted the wait (shutdown).
+  bool WaitUntilDrained(Epoch epoch) CFL_EXCLUDES(mu_);
+
+  // Wakes and fails all current and future WaitUntilDrained calls. Used on
+  // shutdown so a parked compactor cannot deadlock the destructor of its
+  // pool. Refs stay valid; only the waits give up.
+  void Cancel() CFL_EXCLUDES(mu_);
+
+ private:
+  friend class EpochRef;
+
+  void Unpin(Epoch epoch) CFL_EXCLUDES(mu_);
+
+  Mutex mu_ CFL_LOCK_LEVEL(24);
+  CondVar drained_;  // signaled under mu_: a pin count hit zero, or Cancel
+
+  Epoch current_ CFL_GUARDED_BY(mu_) = 0;
+  // epoch -> outstanding ref count; entries erased at zero, so the map
+  // holds exactly the pinned epochs (its size is the live-epoch gauge).
+  std::map<Epoch, uint32_t> pins_ CFL_GUARDED_BY(mu_);
+  bool cancelled_ CFL_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace cfl::dyn
+
+#endif  // CFL_DYN_EPOCH_H_

@@ -60,6 +60,10 @@ inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
 
 class GraphBuilder;
 
+namespace dyn {
+class GraphFolder;  // dyn/fold.h: folds a GraphDelta into a fresh epoch CSR
+}  // namespace dyn
+
 class Graph {
  public:
   CFL_IMMUTABLE_AFTER_BUILD(Graph);
@@ -230,6 +234,7 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend class dyn::GraphFolder;  // writes the same fields as GraphBuilder
   friend struct GraphTestAccess;  // check/test_access.h
 
   static constexpr uint32_t kNoHub = static_cast<uint32_t>(-1);

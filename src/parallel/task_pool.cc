@@ -75,13 +75,12 @@ void TaskPool::WorkerLoop() noexcept {
 }
 
 void TaskLatch::CountDown() {
-  bool release;
-  {
-    MutexLock lock(mu_);
-    CFL_CHECK(remaining_ > 0) << " — TaskLatch counted below zero";
-    release = (--remaining_ == 0);
-  }
-  if (release) done_.NotifyAll();
+  // The broadcast stays under mu_ on purpose: a Wait-er must reacquire mu_
+  // before it can return and destroy the latch, so holding the lock across
+  // NotifyAll is what makes destroy-after-Wait safe.
+  MutexLock lock(mu_);
+  CFL_CHECK(remaining_ > 0) << " — TaskLatch counted below zero";
+  if (--remaining_ == 0) done_.NotifyAll();
 }
 
 void TaskLatch::Wait() {

@@ -150,6 +150,41 @@ bool ServeClient::Ping() {
   return ReadLine(&line) && line == "PONG";
 }
 
+ServeClient::UpdateReply ServeClient::Update(
+    const std::vector<UpdateOp>& ops) {
+  UpdateReply reply;
+  if (fd_ < 0) {
+    reply.error = "not connected";
+    return reply;
+  }
+  std::ostringstream request;
+  request << "UPDATE\n";
+  for (const UpdateOp& op : ops) request << FormatUpdateOp(op) << '\n';
+  request << "END\n";
+  if (!SendAll(request.str())) {
+    reply.error = error_;
+    return reply;
+  }
+  std::string line;
+  if (!ReadLine(&line)) {
+    reply.error = error_;
+    return reply;
+  }
+  if (line.rfind("ERR", 0) == 0) {
+    reply.error = line.size() > 4 ? line.substr(4) : "server error";
+    return reply;
+  }
+  std::string parse_error;
+  std::optional<UpdateOutcome> outcome = ParseUpdatedLine(line, &parse_error);
+  if (!outcome.has_value()) {
+    reply.error = parse_error;
+    return reply;
+  }
+  reply.outcome = *outcome;
+  reply.ok = true;
+  return reply;
+}
+
 std::map<std::string, uint64_t> ServeClient::Stats() {
   std::map<std::string, uint64_t> stats;
   if (fd_ < 0 || !SendAll("STATS\n")) return stats;

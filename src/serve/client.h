@@ -51,6 +51,16 @@ class ServeClient {
 
   bool Ping();
 
+  struct UpdateReply {
+    bool ok = false;        // an UPDATED line arrived
+    std::string error;      // ERR payload or transport failure
+    UpdateOutcome outcome;  // valid when ok
+  };
+
+  // Commits one mutation batch (all ops or none). The reply reports the
+  // new epoch and how many cached plans the batch invalidated/retained.
+  UpdateReply Update(const std::vector<UpdateOp>& ops);
+
   // Raw key=value counters from the STATS line (empty map on failure).
   std::map<std::string, uint64_t> Stats();
 

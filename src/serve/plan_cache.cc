@@ -1,5 +1,6 @@
 #include "serve/plan_cache.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -7,6 +8,22 @@
 #include "serve/canonical.h"
 
 namespace cfl::serve {
+
+namespace {
+
+// Sorted distinct vertex labels of `query` — the invalidation signature.
+std::vector<Label> QueryLabels(const Graph& query) {
+  std::vector<Label> labels;
+  labels.reserve(query.NumVertices());
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    labels.push_back(query.label(u));
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+}  // namespace
 
 PlanCache::PlanCache(uint64_t max_bytes) : max_bytes_(max_bytes) {}
 
@@ -37,14 +54,16 @@ PlanCache::Hit PlanCache::Find(const Graph& query) {
     }
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, entry);  // touch: move to MRU front
-    return Hit{entry->plan, *std::move(iso), entry->representative};
+    return Hit{entry->plan, *std::move(iso), entry->representative,
+               entry->epoch};
   }
   ++stats_.misses;
   return {};
 }
 
 std::shared_ptr<const PreparedQuery> PlanCache::Insert(const Graph& query,
-                                                       PreparedQuery plan) {
+                                                       PreparedQuery plan,
+                                                       uint64_t epoch) {
   auto shared = std::make_shared<const PreparedQuery>(std::move(plan));
   if (!enabled()) return shared;
 
@@ -64,7 +83,7 @@ std::shared_ptr<const PreparedQuery> PlanCache::Insert(const Graph& query,
   }
 
   lru_.push_front(Entry{hash, std::make_shared<const Graph>(query), shared,
-                        bytes});
+                        bytes, QueryLabels(query), epoch});
   index_.emplace(hash, lru_.begin());
   bytes_ += bytes;
   EvictIfOver();
@@ -86,6 +105,30 @@ void PlanCache::EvictIfOver() {
     lru_.erase(victim);
     ++stats_.evictions;
   }
+}
+
+uint64_t PlanCache::InvalidateLabels(const dyn::DirtyLabels& dirty) {
+  if (!enabled() || dirty.labels.empty()) return 0;
+  MutexLock lock(mu_);
+  uint64_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (!dirty.Intersects(it->labels)) {
+      ++it;
+      continue;
+    }
+    auto range = index_.equal_range(it->hash);
+    for (auto idx = range.first; idx != range.second; ++idx) {
+      if (idx->second == it) {
+        index_.erase(idx);
+        break;
+      }
+    }
+    bytes_ -= it->bytes;
+    it = lru_.erase(it);
+    ++dropped;
+  }
+  stats_.invalidations += dropped;
+  return dropped;
 }
 
 PlanCacheStats PlanCache::Stats() {

@@ -14,6 +14,20 @@
 // small ones. A plan larger than the whole budget is returned to the caller
 // uncached.
 //
+// Dynamic data graphs: a cached plan's CPI holds *data* vertex candidates,
+// so a committed update can silently stale it. Each entry records the
+// sorted label set of its representative query; `InvalidateLabels` drops
+// exactly the entries whose label set intersects an update's dirty-label
+// set (dyn/delta.h — labels whose candidate populations changed). Entries
+// with disjoint labels are provably unaffected: every changed edge has two
+// touched (hence dirty-labeled) endpoints, so no edge between
+// clean-labeled vertices moved, and their NLF/MND signatures are intact —
+// those plans keep producing bit-identical results on the new epoch
+// (proved by tests/serve_test.cc). The server calls InvalidateLabels from
+// DynamicGraph::Apply's on_commit hook, i.e. before the new epoch is
+// visible to any query, so a query can never hit a plan its own epoch
+// dirtied.
+//
 // Thread-safe: one mutex guards the map + LRU list; PreparedQuery itself is
 // immutable after build, so handed-out shared_ptrs stay valid after
 // eviction — eviction only drops the cache's reference.
@@ -28,6 +42,7 @@
 #include <vector>
 
 #include "check/thread_annotations.h"
+#include "dyn/delta.h"
 #include "graph/graph.h"
 #include "match/cfl_match.h"
 
@@ -41,6 +56,9 @@ struct PlanCacheStats {
   // collisions between non-isomorphic queries). High values mean the hash
   // is degrading into a scan, not that results are wrong.
   uint64_t collisions = 0;
+  // Entries dropped by InvalidateLabels (update-driven, distinct from LRU
+  // evictions).
+  uint64_t invalidations = 0;
   uint64_t bytes = 0;    // current resident plan bytes
   uint64_t entries = 0;  // current resident plan count
 };
@@ -56,6 +74,11 @@ class PlanCache {
     // The representative query graph the plan was prepared from — the
     // enumerator needs the graph matching the plan's vertex numbering.
     std::shared_ptr<const Graph> representative;
+    // Epoch the plan was prepared against. Valid for every epoch >= this
+    // one the entry survives to (surviving a commit proves disjointness);
+    // a reader pinned *before* it must treat the hit as a miss — it cannot
+    // know whether the intervening batch dirtied the plan's labels.
+    uint64_t epoch = 0;
   };
 
   // `max_bytes` == 0 disables caching entirely (every Find misses, Insert
@@ -78,8 +101,13 @@ class PlanCache {
   // plans (> max_bytes) and duplicate buckets (a racing insert of an
   // isomorphic query) are passed through uncached.
   std::shared_ptr<const PreparedQuery> Insert(const Graph& query,
-                                              PreparedQuery plan)
+                                              PreparedQuery plan,
+                                              uint64_t epoch = 0)
       CFL_EXCLUDES(mu_);
+
+  // Drops every entry whose query label set intersects `dirty`; returns
+  // the number dropped (and counts them in stats().invalidations).
+  uint64_t InvalidateLabels(const dyn::DirtyLabels& dirty) CFL_EXCLUDES(mu_);
 
   PlanCacheStats Stats() CFL_EXCLUDES(mu_);
 
@@ -91,6 +119,11 @@ class PlanCache {
     std::shared_ptr<const Graph> representative;
     std::shared_ptr<const PreparedQuery> plan;
     uint64_t bytes = 0;
+    // Sorted distinct labels of the representative query: the entry's
+    // invalidation signature.
+    std::vector<Label> labels;
+    // Epoch the plan was prepared against (see Hit::epoch).
+    uint64_t epoch = 0;
   };
 
   static uint64_t PlanBytes(const Graph& query, const PreparedQuery& plan);

@@ -77,6 +77,14 @@ std::optional<RequestHeader> ParseRequestHeader(const std::string& line,
     header.kind = RequestKind::kShutdown;
     return header;
   }
+  if (tokens[0] == "UPDATE") {
+    if (tokens.size() != 1) {
+      if (error != nullptr) *error = "UPDATE takes no options";
+      return std::nullopt;
+    }
+    header.kind = RequestKind::kUpdate;
+    return header;
+  }
   if (tokens[0] != "QUERY") {
     if (error != nullptr) *error = "unknown request '" + tokens[0] + "'";
     return std::nullopt;
@@ -123,6 +131,8 @@ std::string FormatRequestHeader(const RequestHeader& header) {
       return "STATS";
     case RequestKind::kShutdown:
       return "SHUTDOWN";
+    case RequestKind::kUpdate:
+      return "UPDATE";
     case RequestKind::kQuery:
       break;
   }
@@ -211,6 +221,114 @@ std::string FormatEmbeddingLine(const Embedding& embedding) {
     line += std::to_string(v);
   }
   return line;
+}
+
+std::string FormatUpdateOp(const UpdateOp& op) {
+  switch (op.kind) {
+    case UpdateOp::Kind::kAddVertex:
+      return "av " + std::to_string(op.u);
+    case UpdateOp::Kind::kRemoveVertex:
+      return "rv " + std::to_string(op.u);
+    case UpdateOp::Kind::kAddEdge:
+      return "ae " + std::to_string(op.u) + " " + std::to_string(op.v);
+    case UpdateOp::Kind::kRemoveEdge:
+      return "re " + std::to_string(op.u) + " " + std::to_string(op.v);
+  }
+  return "";
+}
+
+std::optional<UpdateOp> ParseUpdateOp(const std::string& line,
+                                      std::string* error) {
+  std::vector<std::string> tokens = SplitWs(line);
+  auto fail = [&](const std::string& message) -> std::optional<UpdateOp> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (tokens.empty()) return fail("empty update op");
+  UpdateOp op;
+  size_t want = 0;
+  if (tokens[0] == "av") {
+    op.kind = UpdateOp::Kind::kAddVertex;
+    want = 1;
+  } else if (tokens[0] == "rv") {
+    op.kind = UpdateOp::Kind::kRemoveVertex;
+    want = 1;
+  } else if (tokens[0] == "ae") {
+    op.kind = UpdateOp::Kind::kAddEdge;
+    want = 2;
+  } else if (tokens[0] == "re") {
+    op.kind = UpdateOp::Kind::kRemoveEdge;
+    want = 2;
+  } else {
+    return fail("unknown update op '" + tokens[0] + "'");
+  }
+  if (tokens.size() != want + 1) {
+    return fail("op '" + tokens[0] + "' takes " + std::to_string(want) +
+                " argument(s)");
+  }
+  uint64_t a = 0;
+  if (!ParseU64(tokens[1], &a) || a > static_cast<uint32_t>(-1)) {
+    return fail("bad op argument '" + tokens[1] + "'");
+  }
+  op.u = static_cast<uint32_t>(a);
+  if (want == 2) {
+    if (!ParseU64(tokens[2], &a) || a > static_cast<uint32_t>(-1)) {
+      return fail("bad op argument '" + tokens[2] + "'");
+    }
+    op.v = static_cast<uint32_t>(a);
+  }
+  return op;
+}
+
+std::string FormatUpdatedLine(const UpdateOutcome& outcome) {
+  std::string line = "UPDATED epoch=" + std::to_string(outcome.epoch);
+  line += " added_vertices=" + std::to_string(outcome.added_vertices);
+  line += " removed_vertices=" + std::to_string(outcome.removed_vertices);
+  line += " added_edges=" + std::to_string(outcome.added_edges);
+  line += " removed_edges=" + std::to_string(outcome.removed_edges);
+  line += " dirty_labels=" + std::to_string(outcome.dirty_labels);
+  line += " invalidated=" + std::to_string(outcome.invalidated);
+  line += " retained=" + std::to_string(outcome.retained);
+  return line;
+}
+
+std::optional<UpdateOutcome> ParseUpdatedLine(const std::string& line,
+                                              std::string* error) {
+  std::vector<std::string> tokens = SplitWs(line);
+  if (tokens.empty() || tokens[0] != "UPDATED") {
+    if (error != nullptr) *error = "not an UPDATED line: '" + line + "'";
+    return std::nullopt;
+  }
+  UpdateOutcome outcome;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    auto [key, value] = SplitKv(tokens[i]);
+    uint64_t u = 0;
+    if (!ParseU64(value, &u)) {
+      if (error != nullptr) *error = "bad UPDATED field '" + tokens[i] + "'";
+      return std::nullopt;
+    }
+    if (key == "epoch") {
+      outcome.epoch = u;
+    } else if (key == "added_vertices") {
+      outcome.added_vertices = static_cast<uint32_t>(u);
+    } else if (key == "removed_vertices") {
+      outcome.removed_vertices = static_cast<uint32_t>(u);
+    } else if (key == "added_edges") {
+      outcome.added_edges = u;
+    } else if (key == "removed_edges") {
+      outcome.removed_edges = u;
+    } else if (key == "dirty_labels") {
+      outcome.dirty_labels = static_cast<uint32_t>(u);
+    } else if (key == "invalidated") {
+      outcome.invalidated = u;
+    } else if (key == "retained") {
+      outcome.retained = u;
+    } else {
+      if (error != nullptr) *error = "bad UPDATED field '" + tokens[i] + "'";
+      return std::nullopt;
+    }
+  }
+  return outcome;
 }
 
 std::optional<Embedding> ParseEmbeddingLine(const std::string& line) {

@@ -8,6 +8,14 @@
 //   QUERY mode=<count|stream> [max=<N>] [time=<seconds>]
 //   <graph lines: t / v / e, the graph_io.h text format>
 //   END
+//   UPDATE
+//   <op lines, one per mutation, applied as a single atomic batch:
+//      av <label>       add a vertex (the reply reports nothing per-op;
+//                       ids are assigned densely after the current count)
+//      rv <id>          remove a vertex (and its incident edges)
+//      ae <u> <v>       add the undirected edge (u, v)
+//      re <u> <v>       remove the undirected edge (u, v)>
+//   END
 //
 // Responses (server -> client):
 //
@@ -19,7 +27,17 @@
 //   RESULT embeddings=<N> reached_limit=<0|1> timed_out=<0|1>
 //          cache=<hit|miss|off> prepare_ms=<f> enum_ms=<f> total_ms=<f>
 //          quota=<N>            always the final line of a QUERY exchange
-//   ERR <message>               malformed request; connection stays usable
+//   UPDATED epoch=<N> added_vertices=<N> removed_vertices=<N>
+//           added_edges=<N> removed_edges=<N> dirty_labels=<N>
+//           invalidated=<N> retained=<N>
+//                               the batch committed as epoch <N>;
+//                               <invalidated> cached plans were dropped
+//                               because their labels intersect the batch's
+//                               dirty set, <retained> survived
+//   ERR <message>               malformed request or rejected batch (e.g.
+//                               an op referencing a dead vertex); the
+//                               connection stays usable and nothing of the
+//                               batch was applied
 //
 // Everything is ASCII lines so the protocol can be driven by hand
 // (`socat - UNIX-CONNECT:/tmp/cfl.sock`), logged as-is, and diffed in CI.
@@ -37,7 +55,7 @@
 
 namespace cfl::serve {
 
-enum class RequestKind { kQuery, kPing, kStats, kShutdown };
+enum class RequestKind { kQuery, kPing, kStats, kShutdown, kUpdate };
 enum class QueryMode { kCount, kStream };
 
 // Hard cap on the request header line ("QUERY ...", "PING", ...). A sane
@@ -80,6 +98,37 @@ std::optional<QueryOutcome> ParseResultLine(const std::string& line,
 
 std::string FormatEmbeddingLine(const Embedding& embedding);
 std::optional<Embedding> ParseEmbeddingLine(const std::string& line);
+
+// --- UPDATE batches -------------------------------------------------------
+
+// One mutation line of an UPDATE body. `u` doubles as the label for
+// kAddVertex and the vertex id for kRemoveVertex.
+struct UpdateOp {
+  enum class Kind { kAddVertex, kRemoveVertex, kAddEdge, kRemoveEdge };
+  Kind kind = Kind::kAddVertex;
+  uint32_t u = 0;
+  uint32_t v = 0;
+};
+
+std::string FormatUpdateOp(const UpdateOp& op);
+std::optional<UpdateOp> ParseUpdateOp(const std::string& line,
+                                      std::string* error);
+
+// The terminal line of a successful UPDATE exchange.
+struct UpdateOutcome {
+  uint64_t epoch = 0;
+  uint32_t added_vertices = 0;
+  uint32_t removed_vertices = 0;
+  uint64_t added_edges = 0;
+  uint64_t removed_edges = 0;
+  uint32_t dirty_labels = 0;  // size of the batch's dirty-label set
+  uint64_t invalidated = 0;   // cached plans dropped by this batch
+  uint64_t retained = 0;      // cached plans that survived it
+};
+
+std::string FormatUpdatedLine(const UpdateOutcome& outcome);
+std::optional<UpdateOutcome> ParseUpdatedLine(const std::string& line,
+                                              std::string* error);
 
 }  // namespace cfl::serve
 

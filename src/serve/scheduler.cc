@@ -37,10 +37,8 @@ AdmissionTicket::AdmissionTicket(QueryScheduler& scheduler)
 
 AdmissionTicket::~AdmissionTicket() { scheduler_.ReleaseSlot(); }
 
-QueryScheduler::QueryScheduler(const Graph& data,
-                               const SchedulerOptions& options)
-    : data_(data),
-      options_(options),
+QueryScheduler::QueryScheduler(const SchedulerOptions& options)
+    : options_(options),
       max_concurrent_(options.max_concurrent_queries != 0
                           ? options.max_concurrent_queries
                           : 2 * (options.workers == 0 ? 1 : options.workers)),
@@ -87,7 +85,7 @@ uint32_t QueryScheduler::ActiveQueries() {
   return active_;
 }
 
-MatchResult QueryScheduler::Execute(const Graph& query,
+MatchResult QueryScheduler::Execute(const Graph& data, const Graph& query,
                                     const PreparedQuery& prepared,
                                     const MatchLimits& requested,
                                     uint32_t* quota_used) {
@@ -97,7 +95,6 @@ MatchResult QueryScheduler::Execute(const Graph& query,
   MatchResult result;
   WallTimer total_timer;
   const MatchLimits limits = ClampLimits(requested);
-  const Graph& data = data_;
   const Cpi& cpi = prepared.cpi;
   result.build_seconds = prepared.build_seconds;
   result.order_seconds = prepared.order_seconds;

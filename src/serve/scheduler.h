@@ -75,24 +75,28 @@ class AdmissionTicket {
 
 class QueryScheduler {
  public:
-  QueryScheduler(const Graph& data, const SchedulerOptions& options);
+  explicit QueryScheduler(const SchedulerOptions& options);
 
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
-  const Graph& data() const { return data_; }
   uint32_t workers() const { return pool_.size(); }
 
   // The admission-control clamp alone (no execution): what Execute will
   // actually run `requested` as.
   MatchLimits ClampLimits(const MatchLimits& requested) const;
 
-  // Counting execution of `prepared` under admission control. `query` must
-  // be the graph `prepared` was built from (the cache representative on a
-  // hit). Blocks until the query completes; concurrent callers interleave
-  // on the shared workers. `quota_used` (optional) reports the granted
-  // quota.
-  MatchResult Execute(const Graph& query, const PreparedQuery& prepared,
+  // Counting execution of `prepared` against `data` under admission
+  // control. The scheduler holds no graph of its own: with dynamic data
+  // graphs (dyn/dynamic_graph.h) every query runs against the epoch
+  // snapshot it pinned, so the caller passes the snapshot's graph — which
+  // must be the instance `prepared`'s CPI candidates refer to. `query`
+  // must be the graph `prepared` was built from (the cache representative
+  // on a hit). Blocks until the query completes; concurrent callers
+  // interleave on the shared workers. `quota_used` (optional) reports the
+  // granted quota.
+  MatchResult Execute(const Graph& data, const Graph& query,
+                      const PreparedQuery& prepared,
                       const MatchLimits& requested,
                       uint32_t* quota_used = nullptr);
 
@@ -106,7 +110,6 @@ class QueryScheduler {
   uint32_t AcquireSlot() CFL_EXCLUDES(mu_);
   void ReleaseSlot() CFL_EXCLUDES(mu_);
 
-  const Graph& data_;
   const SchedulerOptions options_;
   const uint32_t max_concurrent_;
   TaskPool pool_;

@@ -82,12 +82,11 @@ class LineReader {
 };
 
 QueryServer::QueryServer(const Graph& data, const ServeOptions& options)
-    : data_(data),
-      options_(options),
-      matcher_(data),
+    : options_(options),
+      dyn_(data, dyn::DynOptions{options.compact_touched_fraction,
+                                 options.background_compaction}),
       cache_(options.cache_bytes),
-      scheduler_(data,
-                 SchedulerOptions{options.workers, options.max_quota,
+      scheduler_(SchedulerOptions{options.workers, options.max_quota,
                                   options.max_concurrent_queries,
                                   options.max_time_limit_seconds,
                                   options.max_embeddings}),
@@ -240,6 +239,14 @@ void QueryServer::HandleConnection(int fd) {
           keep = WriteAll(fd, std::string("ERR internal: ") + e.what() + "\n");
         }
         break;
+      case RequestKind::kUpdate:
+        try {
+          keep = HandleUpdate(fd, reader);
+        } catch (const std::exception& e) {
+          CountError();
+          keep = WriteAll(fd, std::string("ERR internal: ") + e.what() + "\n");
+        }
+        break;
     }
     if (!keep) break;
   }
@@ -275,6 +282,12 @@ bool QueryServer::HandleQuery(int fd, LineReader& reader,
                             "\n");
   }
 
+  // Pin the epoch first: everything below — cache lookup, prepare,
+  // enumeration — answers as of this snapshot, no matter how many updates
+  // commit while the query runs.
+  dyn::Snapshot snapshot = dyn_.Acquire();
+  const Graph& data = snapshot.graph();
+
   WallTimer total_timer;
   QueryOutcome outcome;
   outcome.cache = cache_.enabled() ? QueryOutcome::Cache::kMiss
@@ -284,7 +297,11 @@ bool QueryServer::HandleQuery(int fd, LineReader& reader,
   std::shared_ptr<const Graph> plan_graph;  // graph in the plan's numbering
   std::vector<VertexId> remap;  // client vertex -> plan vertex; empty = id
   PlanCache::Hit hit = cache_.Find(query);
-  if (hit.plan != nullptr) {
+  // A hit is usable only if the plan's epoch is not newer than ours: a plan
+  // inserted for epoch e+1 may depend on a batch this query (pinned at e)
+  // must not see. Surviving entries from epochs <= ours are proven valid by
+  // the invalidation invariant.
+  if (hit.plan != nullptr && hit.epoch <= snapshot.epoch()) {
     outcome.cache = QueryOutcome::Cache::kHit;
     plan = std::move(hit.plan);
     plan_graph = std::move(hit.representative);
@@ -296,7 +313,27 @@ bool QueryServer::HandleQuery(int fd, LineReader& reader,
       // rides inside the critical section (lock order prepare_mu_ ->
       // cache mutex; nothing takes them in the other order).
       MutexLock lock(prepare_mu_);
-      plan = cache_.Insert(query, matcher_.Prepare(query));
+      if (matcher_ == nullptr || matcher_epoch_ != snapshot.epoch() ||
+          matcher_graph_ != snapshot.graph_ptr()) {
+        // Rebind the prepare-side matcher to this query's snapshot; the
+        // shared_ptr keeps the epoch's graph alive for the matcher's
+        // internal references.
+        matcher_graph_ = snapshot.graph_ptr();
+        matcher_ = std::make_unique<CflMatcher>(*matcher_graph_);
+        matcher_epoch_ = snapshot.epoch();
+      }
+      PreparedQuery prepared = matcher_->Prepare(query);
+      if (dyn_.CurrentEpoch() == snapshot.epoch()) {
+        plan = cache_.Insert(query, std::move(prepared), snapshot.epoch());
+      } else {
+        // An update committed since we pinned: this plan describes a
+        // superseded epoch. Correct for *this* query (snapshot isolation)
+        // but must not outlive it in the cache — the committed batch's
+        // invalidation pass ran before this insert would land. Updates
+        // also hold prepare_mu_, so the epoch check and Insert are atomic
+        // with respect to commits.
+        plan = std::make_shared<const PreparedQuery>(std::move(prepared));
+      }
     }
     outcome.prepare_ms = prepare_timer.Lap() * 1e3;
     plan_graph = std::make_shared<const Graph>(query);
@@ -305,8 +342,8 @@ bool QueryServer::HandleQuery(int fd, LineReader& reader,
   if (header.mode == QueryMode::kCount) {
     uint32_t quota = 0;
     WallTimer enum_timer;
-    MatchResult result =
-        scheduler_.Execute(*plan_graph, *plan, header.limits, &quota);
+    MatchResult result = scheduler_.Execute(data, *plan_graph, *plan,
+                                            header.limits, &quota);
     outcome.enum_ms = enum_timer.Lap() * 1e3;
     outcome.embeddings = result.embeddings;
     outcome.reached_limit = result.reached_limit;
@@ -319,7 +356,7 @@ bool QueryServer::HandleQuery(int fd, LineReader& reader,
     AdmissionTicket ticket(scheduler_);
     MatchLimits limits = scheduler_.ClampLimits(header.limits);
     WallTimer enum_timer;
-    EmbeddingIterator it(data_, plan, limits);
+    EmbeddingIterator it(data, plan, limits);
     Embedding embedding;
     Embedding out;
     while (it.Next(&embedding)) {
@@ -346,6 +383,103 @@ bool QueryServer::HandleQuery(int fd, LineReader& reader,
   return WriteAll(fd, FormatResultLine(outcome) + "\n");
 }
 
+bool QueryServer::HandleUpdate(int fd, LineReader& reader) {
+  // Collect op lines up to END before parsing, so a malformed op still
+  // leaves the connection aligned on request boundaries.
+  std::vector<std::string> op_lines;
+  std::string line;
+  bool saw_end = false;
+  while (reader.ReadLine(&line)) {
+    if (line == "END") {
+      saw_end = true;
+      break;
+    }
+    if (!line.empty()) op_lines.push_back(line);
+  }
+  if (!saw_end) return false;  // client vanished mid-request
+
+  std::vector<UpdateOp> ops;
+  ops.reserve(op_lines.size());
+  for (const std::string& op_line : op_lines) {
+    std::string parse_error;
+    std::optional<UpdateOp> op = ParseUpdateOp(op_line, &parse_error);
+    if (!op.has_value()) {
+      CountError();
+      return WriteAll(fd, "ERR " + parse_error + "\n");
+    }
+    ops.push_back(*op);
+  }
+
+  // Optimistic commit with bounded replay: updates serialize on prepare_mu_,
+  // but the background compactor installs rebuilds outside it, so the delta
+  // we build here can lose the race to a compaction epoch. Rebuilding a
+  // small op batch is cheap; lose eight times in a row and report failure.
+  static constexpr int kMaxAttempts = 8;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    dyn::Snapshot snapshot = dyn_.Acquire();
+    dyn::GraphDelta delta = dyn_.NewDelta(snapshot);
+    for (const UpdateOp& op : ops) {
+      bool ok = true;
+      switch (op.kind) {
+        case UpdateOp::Kind::kAddVertex:
+          ok = delta.AddVertex(static_cast<Label>(op.u));
+          break;
+        case UpdateOp::Kind::kRemoveVertex:
+          ok = delta.RemoveVertex(op.u);
+          break;
+        case UpdateOp::Kind::kAddEdge:
+          ok = delta.AddEdge(op.u, op.v);
+          break;
+        case UpdateOp::Kind::kRemoveEdge:
+          ok = delta.RemoveEdge(op.u, op.v);
+          break;
+      }
+      if (!ok) {
+        // Whole-batch rejection: nothing of a bad batch is applied.
+        CountError();
+        return WriteAll(fd, "ERR update rejected: " + delta.error() + "\n");
+      }
+    }
+
+    dyn::ApplyResult result;
+    uint64_t invalidated = 0;
+    std::optional<std::string> stale;
+    {
+      // prepare_mu_ makes the commit atomic with HandleQuery's
+      // epoch-checked cache inserts; the on_commit hook invalidates
+      // affected plans before the new epoch is visible to any Acquire.
+      MutexLock lock(prepare_mu_);
+      stale = dyn_.Apply(std::move(delta), &result,
+                         [&](const dyn::DirtyLabels& dirty) {
+                           invalidated = cache_.InvalidateLabels(dirty);
+                         });
+    }
+    if (stale.has_value()) {
+      MutexLock lock(counter_mu_);
+      ++counters_.update_retries;
+      continue;
+    }
+
+    UpdateOutcome outcome;
+    outcome.epoch = result.epoch;
+    outcome.added_vertices = result.added_vertices;
+    outcome.removed_vertices = result.removed_vertices;
+    outcome.added_edges = result.added_edges;
+    outcome.removed_edges = result.removed_edges;
+    outcome.dirty_labels = static_cast<uint32_t>(result.dirty.labels.size());
+    outcome.invalidated = invalidated;
+    outcome.retained = cache_.Stats().entries;
+    {
+      MutexLock lock(counter_mu_);
+      ++counters_.updates;
+    }
+    return WriteAll(fd, FormatUpdatedLine(outcome) + "\n");
+  }
+  CountError();
+  return WriteAll(fd, "ERR update failed: lost the commit race " +
+                          std::to_string(kMaxAttempts) + " times\n");
+}
+
 bool QueryServer::HandleStats(int fd) {
   ServerCounters counters;
   {
@@ -353,17 +487,26 @@ bool QueryServer::HandleStats(int fd) {
     counters = counters_;
   }
   PlanCacheStats cache = cache_.Stats();
+  obs::DynCounters dyn = dyn_.Stats();
   std::string line = "STATS";
   line += " queries=" + std::to_string(counters.queries);
   line += " stream_queries=" + std::to_string(counters.stream_queries);
+  line += " updates=" + std::to_string(counters.updates);
+  line += " update_retries=" + std::to_string(counters.update_retries);
   line += " errors=" + std::to_string(counters.errors);
   line += " connections=" + std::to_string(counters.connections);
   line += " cache_hits=" + std::to_string(cache.hits);
   line += " cache_misses=" + std::to_string(cache.misses);
   line += " cache_evictions=" + std::to_string(cache.evictions);
   line += " cache_collisions=" + std::to_string(cache.collisions);
+  line += " cache_invalidations=" + std::to_string(cache.invalidations);
   line += " cache_bytes=" + std::to_string(cache.bytes);
   line += " cache_entries=" + std::to_string(cache.entries);
+  line += " epoch=" + std::to_string(dyn_.CurrentEpoch());
+  line += " folds=" + std::to_string(dyn.folds);
+  line += " compactions=" + std::to_string(dyn.compactions);
+  line += " epochs_retired=" + std::to_string(dyn.epochs_retired);
+  line += " live_epochs=" + std::to_string(dyn.live_epochs);
   line += " active=" + std::to_string(scheduler_.ActiveQueries());
   line += " workers=" + std::to_string(scheduler_.workers());
   line += "\n";

@@ -2,15 +2,26 @@
 //
 // `QueryServer` loads nothing itself: it is handed the data graph once and
 // serves any number of queries against it — the whole point of residency is
-// paying graph load + index warm-up once instead of per cfl_query run. Per
-// request it:
+// paying graph load + index warm-up once instead of per cfl_query run. The
+// server owns the graph's evolution from then on: UPDATE requests commit
+// mutation batches through a `DynamicGraph` (dyn/dynamic_graph.h), and
+// every query runs against the immutable epoch snapshot it pins on arrival
+// (snapshot isolation: a query admitted at epoch e answers as of e, even
+// if updates commit mid-flight). Per QUERY request it:
 //
-//   1. looks the query up in the plan/CPI cache (serve/plan_cache.h);
-//      isomorphic queries, under any vertex numbering, share one plan;
-//   2. on a miss, runs CflMatcher::Prepare — serialized by a mutex, because
+//   1. pins the current epoch snapshot;
+//   2. looks the query up in the plan/CPI cache (serve/plan_cache.h);
+//      isomorphic queries, under any vertex numbering, share one plan.
+//      Updates invalidate exactly the entries whose query labels the batch
+//      dirtied — from inside the commit's critical section, so a query can
+//      never hit a plan its own epoch staled;
+//   3. on a miss, runs CflMatcher::Prepare — serialized by a mutex, because
 //      Prepare reuses the CPI builder's scratch and is not thread-safe
-//      (enumeration, the expensive half under load, is what parallelizes);
-//   3. executes: counting queries fan out over the shared worker pool under
+//      (enumeration, the expensive half under load, is what parallelizes).
+//      The matcher is rebound when the epoch moved since the last prepare;
+//      a plan prepared against a snapshot that is no longer current is
+//      used for its own query but not cached;
+//   4. executes: counting queries fan out over the shared worker pool under
 //      the scheduler's admission control (serve/scheduler.h); streaming
 //      queries pull embeddings one at a time through EmbeddingIterator and
 //      write them back as EMB lines, remapped to the client's own vertex
@@ -40,6 +51,7 @@
 #include <string>
 
 #include "check/thread_annotations.h"
+#include "dyn/dynamic_graph.h"
 #include "graph/graph.h"
 #include "match/cfl_match.h"
 #include "parallel/task_pool.h"
@@ -67,18 +79,27 @@ struct ServeOptions {
   uint32_t max_concurrent_queries = 0;
   double max_time_limit_seconds = 30.0;
   uint64_t max_embeddings = 0;
+
+  // Dynamic-graph knobs (see dyn::DynOptions).
+  double compact_touched_fraction = 0.25;
+  bool background_compaction = true;
 };
 
 struct ServerCounters {
   uint64_t queries = 0;        // QUERY requests completed
   uint64_t stream_queries = 0;
+  uint64_t updates = 0;        // UPDATE batches committed
+  // UPDATE commit attempts that lost the race to a concurrent batch and
+  // were replayed against the fresh snapshot.
+  uint64_t update_retries = 0;
   uint64_t errors = 0;         // ERR responses sent
   uint64_t connections = 0;
 };
 
 class QueryServer {
  public:
-  // `data` must outlive the server.
+  // The server copies `data` once and owns its evolution (UPDATE batches
+  // advance it epoch by epoch); the caller's instance is not read again.
   QueryServer(const Graph& data, const ServeOptions& options);
   ~QueryServer();
 
@@ -103,6 +124,8 @@ class QueryServer {
   // connection should close.
   bool HandleQuery(int fd, class LineReader& reader,
                    const RequestHeader& header);
+  // Reads op lines up to END, commits the batch, answers UPDATED or ERR.
+  bool HandleUpdate(int fd, class LineReader& reader);
   bool HandleStats(int fd);
 
   void RegisterConnection(int fd) CFL_EXCLUDES(conn_mu_);
@@ -112,13 +135,23 @@ class QueryServer {
   void CountQuery(bool stream) CFL_EXCLUDES(counter_mu_);
   void CountError() CFL_EXCLUDES(counter_mu_);
 
-  const Graph& data_;
   const ServeOptions options_;
 
-  CflMatcher matcher_;
-  // CflMatcher::Prepare is not thread-safe; level 20 < PlanCache's 30
-  // because HandleQuery inserts into the cache under prepare_mu_.
+  // The data graph's epochs. All query/update state hangs off this; the
+  // server never holds a bare `const Graph&` anymore.
+  dyn::DynamicGraph dyn_;
+
+  // CflMatcher::Prepare is not thread-safe; level 20 < DynamicGraph's 22 <
+  // PlanCache's 30, because HandleQuery inserts into the cache under
+  // prepare_mu_ and HandleUpdate commits (and invalidates the cache from
+  // the commit hook) under it. The matcher is lazily rebound to the
+  // querying snapshot's epoch; matcher_graph_ keeps that epoch's graph
+  // alive for as long as the matcher references it.
   Mutex prepare_mu_ CFL_LOCK_LEVEL(20);
+  std::shared_ptr<const Graph> matcher_graph_ CFL_GUARDED_BY(prepare_mu_);
+  std::unique_ptr<CflMatcher> matcher_ CFL_GUARDED_BY(prepare_mu_);
+  dyn::Epoch matcher_epoch_ CFL_GUARDED_BY(prepare_mu_) = 0;
+
   PlanCache cache_;
   QueryScheduler scheduler_;
 

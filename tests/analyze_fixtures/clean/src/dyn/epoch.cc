@@ -1,0 +1,40 @@
+// Fixture: implementation of the epoch.h concurrency surface. The commit
+// path acquires mu_ (22) and, through NoteRetired, drain_mu_ (24) — the
+// ascending nested pair the dyn module adds to the hierarchy. The mutation
+// self-test seeds its dyn violations into exactly these lines.
+#include "dyn/epoch.h"
+
+namespace fix {
+
+void EpochRing::Commit(uint64_t touched) {
+  MutexLock lock(mu_);
+  epoch_ += 1;
+  folds_.fetch_add(1, std::memory_order_relaxed);
+  // Nested acquisition through a call: mu_ (22) -> drain_mu_ (24) ascends.
+  NoteRetired(epoch_ - touched);
+}
+
+void EpochRing::NoteRetired(uint64_t epoch) {
+  MutexLock lock(drain_mu_);
+  pins_ -= epoch == 0 ? 0 : 1;
+  drained_.NotifyAll();
+}
+
+void EpochRing::Pin() {
+  MutexLock lock(drain_mu_);
+  pins_ += 1;
+}
+
+void EpochRing::Unpin() {
+  MutexLock lock(drain_mu_);
+  pins_ -= 1;
+  drained_.NotifyAll();
+}
+
+void EpochRing::AwaitDrained() {
+  MutexLock lock(drain_mu_);
+  // cfl-analyze: allow(blocking-under-lock) condvar wait releases drain_mu_
+  while (pins_ != 0) drained_.Wait(drain_mu_);
+}
+
+}  // namespace fix

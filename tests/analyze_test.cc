@@ -1,7 +1,8 @@
 // cfl_analyze fixture tests: every whole-program rule must fire on its
 // checked-in violating mini-tree, the clean and allow trees must pass, and
-// the mutation self-test proves end-to-end sensitivity — sixteen
-// violations (two per rule, concurrency rules included) seeded one at a
+// the mutation self-test proves end-to-end sensitivity — twenty
+// violations (two per rule, concurrency rules included, plus a dyn-module
+// quartet covering its DAG edge and 22/24 lock levels) seeded one at a
 // time into a copy of the clean tree, all but at most one of which the
 // analyzer must detect (the acceptance bar for the analyzer being more
 // than a tautology on an already-clean tree).
@@ -262,6 +263,17 @@ const Mutation kMutations[] = {
      "config_.store(config, std::memory_order_release);",
      "config_.store(config, std::memory_order_relaxed);",
      "[atomic-intent]"},
+    // dyn: one seed per concurrency rule plus the module's DAG edge
+    {"src/dyn/epoch.h", "#include \"parallel/pool.h\"",
+     "#include \"match/match.h\"", "[layering]"},
+    {"src/dyn/epoch.h", "Mutex drain_mu_ CFL_LOCK_LEVEL(24);",
+     "Mutex drain_mu_ CFL_LOCK_LEVEL(21);", "[lock-order]"},
+    {"src/dyn/epoch.cc",
+     "// cfl-analyze: allow(blocking-under-lock) condvar wait releases "
+     "drain_mu_",
+     "// condvar wait releases drain_mu_", "[blocking-under-lock]"},
+    {"src/dyn/epoch.h", "current_.load(std::memory_order_acquire);",
+     "current_.load(std::memory_order_relaxed);", "[atomic-intent]"},
 };
 
 bool ApplyMutation(const fs::path& root, const Mutation& m) {

@@ -1,0 +1,477 @@
+// Tests for the dynamic-graph epoch layer (ISSUE 10): the GraphDelta
+// overlay's merged adjacency against a std::set model, FoldDelta content
+// equality with a from-scratch rebuild, snapshot isolation across commits,
+// compaction gating on pinned epochs (the tsan lane's main prey), and
+// EpochRef misuse death tests.
+
+#include "dyn/dynamic_graph.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/validate.h"
+#include "dyn/delta.h"
+#include "dyn/epoch.h"
+#include "dyn/fold.h"
+#include "gen/rng.h"
+#include "gen/synthetic.h"
+#include "graph/graph_builder.h"
+
+namespace cfl {
+namespace {
+
+using dyn::DirtyLabels;
+using dyn::DynamicGraph;
+using dyn::DynOptions;
+using dyn::EpochManager;
+using dyn::EpochRef;
+using dyn::FoldDelta;
+using dyn::GraphDelta;
+
+Graph SmallBase(uint64_t seed, uint32_t n = 60) {
+  SyntheticOptions options;
+  options.num_vertices = n;
+  options.average_degree = 4.0;
+  options.num_labels = 4;
+  options.seed = seed;
+  return MakeSynthetic(options);
+}
+
+// Obviously-correct mirror of base graph + mutations. Tombstoned vertices
+// keep their label (matching the fold's semantics) but lose all edges.
+struct Model {
+  std::vector<Label> labels;
+  std::vector<bool> alive;
+  std::vector<std::set<VertexId>> adj;
+  std::vector<std::pair<VertexId, VertexId>> edge_list;  // u < v, sampling
+
+  explicit Model(const Graph& g) {
+    const uint32_t n = g.NumVertices();
+    labels.resize(n);
+    alive.assign(n, true);
+    adj.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+      labels[v] = g.label(v);
+      for (VertexId w : g.Neighbors(v)) {
+        adj[v].insert(w);
+        if (w > v) edge_list.emplace_back(v, w);
+      }
+    }
+  }
+
+  VertexId AddVertex(Label l) {
+    labels.push_back(l);
+    alive.push_back(true);
+    adj.emplace_back();
+    return static_cast<VertexId>(labels.size() - 1);
+  }
+
+  void RemoveVertex(VertexId v) {
+    for (VertexId w : adj[v]) adj[w].erase(v);
+    adj[v].clear();
+    alive[v] = false;
+    std::erase_if(edge_list, [v](const std::pair<VertexId, VertexId>& e) {
+      return e.first == v || e.second == v;
+    });
+  }
+
+  void AddEdge(VertexId u, VertexId v) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+    edge_list.emplace_back(std::min(u, v), std::max(u, v));
+  }
+
+  void RemoveEdge(VertexId u, VertexId v) {
+    adj[u].erase(v);
+    adj[v].erase(u);
+    std::pair<VertexId, VertexId> key{std::min(u, v), std::max(u, v)};
+    std::erase(edge_list, key);
+  }
+
+  bool HasEdge(VertexId u, VertexId v) const { return adj[u].count(v) > 0; }
+
+  Graph Rebuild() const {
+    std::vector<std::pair<VertexId, VertexId>> edges(edge_list);
+    std::sort(edges.begin(), edges.end());
+    return MakeGraph(labels, edges);
+  }
+
+  // v's post-delta adjacency in the graph's (label, id) order.
+  std::vector<VertexId> SortedNeighbors(VertexId v) const {
+    std::vector<VertexId> out(adj[v].begin(), adj[v].end());
+    std::sort(out.begin(), out.end(), [&](VertexId a, VertexId b) {
+      if (labels[a] != labels[b]) return labels[a] < labels[b];
+      return a < b;
+    });
+    return out;
+  }
+};
+
+// Applies ~`ops` random mutations to both the delta and the model. Every
+// op the model accepts the delta must accept too.
+void Mutate(Rng& rng, uint32_t ops, GraphDelta* delta, Model* model) {
+  for (uint32_t i = 0; i < ops; ++i) {
+    const uint32_t n = static_cast<uint32_t>(model->labels.size());
+    switch (rng.Below(8)) {
+      case 0: {  // add vertex
+        Label l = static_cast<Label>(rng.Below(5));
+        VertexId id = kInvalidVertex;
+        ASSERT_TRUE(delta->AddVertex(l, &id)) << delta->error();
+        ASSERT_EQ(id, model->AddVertex(l));
+        break;
+      }
+      case 1: {  // remove a random alive base vertex (not batch-added)
+        VertexId v = rng.Below(n);
+        if (v >= delta->BaseVertices() || !model->alive[v]) break;
+        ASSERT_TRUE(delta->RemoveVertex(v)) << delta->error();
+        model->RemoveVertex(v);
+        break;
+      }
+      case 2:
+      case 3: {  // remove a random existing edge
+        if (model->edge_list.empty()) break;
+        auto [u, v] =
+            model->edge_list[rng.Below(model->edge_list.size())];
+        ASSERT_TRUE(delta->RemoveEdge(u, v)) << delta->error();
+        model->RemoveEdge(u, v);
+        break;
+      }
+      default: {  // add a random missing edge between alive vertices
+        VertexId u = rng.Below(n);
+        VertexId v = rng.Below(n);
+        if (u == v || !model->alive[u] || !model->alive[v]) break;
+        if (model->HasEdge(u, v)) break;
+        ASSERT_TRUE(delta->AddEdge(u, v)) << delta->error();
+        model->AddEdge(u, v);
+        break;
+      }
+    }
+  }
+}
+
+// ---- overlay adjacency vs the set model ---------------------------------
+
+TEST(GraphDeltaTest, MergedNeighborsMatchSetModel) {
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    Graph base = SmallBase(100 + trial);
+    Model model(base);
+    GraphDelta delta(base);
+    Rng rng(900 + trial);
+    Mutate(rng, 30, &delta, &model);
+    delta.Seal();
+
+    const uint32_t n = static_cast<uint32_t>(model.labels.size());
+    ASSERT_EQ(delta.NewVertices(), n);
+    std::vector<VertexId> merged;
+    for (VertexId v = 0; v < n; ++v) {
+      delta.MergedNeighbors(v, &merged);
+      std::vector<VertexId> expected =
+          model.alive[v] ? model.SortedNeighbors(v) : std::vector<VertexId>{};
+      ASSERT_EQ(merged, expected) << "vertex " << v << " trial " << trial;
+
+      // Per-label slices agree too (including labels v has no edges to).
+      for (Label l = 0; l < 6; ++l) {
+        std::vector<VertexId> by_label;
+        if (model.alive[v]) {
+          for (VertexId w : model.adj[v]) {
+            if (model.labels[w] == l) by_label.push_back(w);
+          }
+          std::sort(by_label.begin(), by_label.end());
+        }
+        std::vector<VertexId> got;
+        delta.MergedNeighborsWithLabel(v, l, &got);
+        ASSERT_EQ(got, by_label) << "vertex " << v << " label " << l;
+      }
+    }
+  }
+}
+
+TEST(GraphDeltaTest, RejectsInvalidOps) {
+  Graph base = MakeGraph({0, 1, 0}, {{0, 1}, {1, 2}});
+  GraphDelta delta(base);
+
+  EXPECT_FALSE(delta.AddEdge(0, 0));  // self-loop
+  EXPECT_FALSE(delta.AddEdge(0, 1));  // already present
+  EXPECT_FALSE(delta.RemoveEdge(0, 2));  // not present
+  EXPECT_FALSE(delta.AddEdge(0, 99));  // out of range
+
+  ASSERT_TRUE(delta.RemoveVertex(1));
+  EXPECT_FALSE(delta.AddEdge(0, 1));     // dead endpoint
+  EXPECT_FALSE(delta.RemoveVertex(1));   // already tombstoned
+  EXPECT_FALSE(delta.RemoveEdge(1, 2));  // vanished with the vertex
+
+  VertexId id = kInvalidVertex;
+  ASSERT_TRUE(delta.AddVertex(7, &id));
+  EXPECT_EQ(id, 3u);  // new ids start at base n
+  EXPECT_FALSE(delta.RemoveVertex(id));  // same-batch removal rejected
+  EXPECT_NE(delta.error(), "");
+}
+
+// ---- fold vs from-scratch rebuild ---------------------------------------
+
+// Full content comparison through the public Graph API: adjacency, label
+// index, NLF, mnd, degrees, and the hub index.
+void ExpectGraphsEqual(const Graph& folded, const Graph& rebuilt) {
+  ASSERT_EQ(folded.NumVertices(), rebuilt.NumVertices());
+  ASSERT_EQ(folded.NumEdges(), rebuilt.NumEdges());
+  ASSERT_EQ(folded.NumLabels(), rebuilt.NumLabels());
+  ASSERT_EQ(folded.HasHubIndex(), rebuilt.HasHubIndex());
+  ASSERT_EQ(folded.HubDegreeThreshold(), rebuilt.HubDegreeThreshold());
+  for (VertexId v = 0; v < folded.NumVertices(); ++v) {
+    ASSERT_EQ(folded.label(v), rebuilt.label(v)) << v;
+    ASSERT_EQ(folded.degree(v), rebuilt.degree(v)) << v;
+    ASSERT_EQ(folded.MaxNeighborDegree(v), rebuilt.MaxNeighborDegree(v)) << v;
+    ASSERT_EQ(folded.IsHub(v), rebuilt.IsHub(v)) << v;
+    std::span<const VertexId> fn = folded.Neighbors(v);
+    std::span<const VertexId> rn = rebuilt.Neighbors(v);
+    ASSERT_TRUE(std::equal(fn.begin(), fn.end(), rn.begin(), rn.end())) << v;
+    std::span<const Graph::LabelCount> fc = folded.NeighborLabelCounts(v);
+    std::span<const Graph::LabelCount> rc = rebuilt.NeighborLabelCounts(v);
+    ASSERT_EQ(fc.size(), rc.size()) << v;
+    for (size_t i = 0; i < fc.size(); ++i) {
+      ASSERT_EQ(fc[i].label, rc[i].label) << v;
+      ASSERT_EQ(fc[i].count, rc[i].count) << v;
+    }
+  }
+  for (Label l = 0; l < folded.NumLabels(); ++l) {
+    std::span<const VertexId> fv = folded.VerticesWithLabel(l);
+    std::span<const VertexId> rv = rebuilt.VerticesWithLabel(l);
+    ASSERT_TRUE(std::equal(fv.begin(), fv.end(), rv.begin(), rv.end())) << l;
+    ASSERT_EQ(folded.LabelFrequency(l), rebuilt.LabelFrequency(l)) << l;
+  }
+}
+
+TEST(FoldDeltaTest, FoldedGraphMatchesFromScratchRebuild) {
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    Graph base = SmallBase(200 + trial);
+    Model model(base);
+    GraphDelta delta(base);
+    Rng rng(1700 + trial);
+    Mutate(rng, 25, &delta, &model);
+    delta.Seal();
+
+    DirtyLabels dirty;
+    Graph folded = FoldDelta(base, delta, &dirty);
+    ValidationResult valid = ValidateGraph(folded);
+    ASSERT_TRUE(valid.ok) << valid.error;
+    ExpectGraphsEqual(folded, model.Rebuild());
+
+    // Dirty-label oracle: any base vertex whose NLF or mnd moved must have
+    // its label in the dirty set — that is exactly the soundness condition
+    // the serve layer's plan invalidation relies on.
+    for (VertexId v = 0; v < base.NumVertices(); ++v) {
+      std::span<const Graph::LabelCount> before = base.NeighborLabelCounts(v);
+      std::span<const Graph::LabelCount> after = folded.NeighborLabelCounts(v);
+      bool nlf_moved =
+          !std::equal(before.begin(), before.end(), after.begin(),
+                      after.end(), [](const Graph::LabelCount& a, const Graph::LabelCount& b) {
+                        return a.label == b.label && a.count == b.count;
+                      });
+      if (nlf_moved ||
+          base.MaxNeighborDegree(v) != folded.MaxNeighborDegree(v)) {
+        EXPECT_TRUE(dirty.Contains(base.label(v)))
+            << "vertex " << v << " changed but label " << base.label(v)
+            << " is not dirty (trial " << trial << ")";
+      }
+    }
+    for (VertexId v : delta.Touched()) {
+      EXPECT_TRUE(dirty.Contains(delta.LabelOf(v)));
+    }
+  }
+}
+
+TEST(FoldDeltaTest, TombstonesKeepLabelAndLoseEdges) {
+  Graph base = MakeGraph({0, 1, 0, 1}, {{0, 1}, {1, 2}, {2, 3}});
+  GraphDelta delta(base);
+  ASSERT_TRUE(delta.RemoveVertex(1));
+  delta.Seal();
+  Graph folded = FoldDelta(base, delta);
+  ASSERT_TRUE(ValidateGraph(folded).ok);
+  EXPECT_EQ(folded.NumVertices(), 4u);
+  EXPECT_EQ(folded.label(1), 1u);
+  EXPECT_EQ(folded.StructuralDegree(1), 0u);
+  EXPECT_EQ(folded.NumEdges(), 1u);  // only (2,3) survives
+  // The label index still lists the tombstone (content-equal with a
+  // rebuild over the same vertex set).
+  std::span<const VertexId> l1 = folded.VerticesWithLabel(1);
+  EXPECT_TRUE(std::find(l1.begin(), l1.end(), 1u) != l1.end());
+}
+
+// ---- snapshots and epochs -----------------------------------------------
+
+TEST(DynamicGraphTest, SnapshotIsolationAcrossCommits) {
+  DynamicGraph dg(MakeGraph({0, 1, 0}, {{0, 1}}),
+                  DynOptions{0.0, false});
+  dyn::Snapshot before = dg.Acquire();
+  EXPECT_EQ(before.epoch(), 0u);
+  EXPECT_FALSE(before.graph().HasEdge(1, 2));
+
+  GraphDelta delta = dg.NewDelta(before);
+  ASSERT_TRUE(delta.AddEdge(1, 2));
+  dyn::ApplyResult result;
+  ASSERT_FALSE(dg.Apply(std::move(delta), &result).has_value());
+  EXPECT_EQ(result.epoch, 1u);
+  EXPECT_EQ(result.added_edges, 1u);
+
+  // The pinned snapshot still answers as of epoch 0.
+  EXPECT_FALSE(before.graph().HasEdge(1, 2));
+  dyn::Snapshot after = dg.Acquire();
+  EXPECT_EQ(after.epoch(), 1u);
+  EXPECT_TRUE(after.graph().HasEdge(1, 2));
+  before.ReleasePin();
+  after.ReleasePin();
+}
+
+TEST(DynamicGraphTest, StaleDeltaIsRejectedWholesale) {
+  DynamicGraph dg(MakeGraph({0, 1, 0}, {{0, 1}}),
+                  DynOptions{0.0, false});
+  dyn::Snapshot snap = dg.Acquire();
+  GraphDelta first = dg.NewDelta(snap);
+  GraphDelta second = dg.NewDelta(snap);
+  ASSERT_TRUE(first.AddEdge(1, 2));
+  ASSERT_TRUE(second.AddEdge(0, 2));
+  ASSERT_FALSE(dg.Apply(std::move(first)).has_value());
+
+  std::optional<std::string> error = dg.Apply(std::move(second));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("stale"), std::string::npos) << *error;
+  // Nothing of the stale batch landed.
+  snap.ReleasePin();
+  dyn::Snapshot now = dg.Acquire();
+  EXPECT_FALSE(now.graph().HasEdge(0, 2));
+  EXPECT_EQ(now.epoch(), 1u);
+}
+
+TEST(DynamicGraphTest, EmptyDeltaCommitsNothing) {
+  DynamicGraph dg(MakeGraph({0, 1}, {{0, 1}}), DynOptions{0.0, false});
+  dyn::Snapshot snap = dg.Acquire();
+  dyn::ApplyResult result;
+  ASSERT_FALSE(dg.Apply(dg.NewDelta(snap), &result).has_value());
+  EXPECT_EQ(result.epoch, 0u);
+  EXPECT_EQ(dg.CurrentEpoch(), 0u);
+}
+
+TEST(DynamicGraphTest, CompactionWaitsForPinnedEpochs) {
+  // Manual compaction so the test controls exactly when the rebuild runs.
+  DynamicGraph dg(SmallBase(42), DynOptions{0.0, false});
+
+  dyn::Snapshot s0 = dg.Acquire();
+  GraphDelta delta = dg.NewDelta(s0);
+  ASSERT_TRUE(delta.AddVertex(2));
+  ASSERT_FALSE(dg.Apply(std::move(delta)).has_value());
+
+  // Pin the *current* epoch, then pin the superseded one via s0 — the
+  // compactor must wait for every epoch older than its target.
+  dyn::Snapshot s1 = dg.Acquire();
+  std::atomic<bool> compacted{false};
+  std::thread compactor([&] {
+    EXPECT_TRUE(dg.CompactNow());
+    compacted.store(true, std::memory_order_release);
+  });
+
+  // While the old epoch stays pinned the compactor must not finish. A
+  // bounded sleep cannot prove "never", but with tsan on this lane any
+  // install racing the pinned reader would be flagged as well.
+  usleep(50'000);
+  EXPECT_FALSE(compacted.load(std::memory_order_acquire));
+  EXPECT_EQ(dg.Stats().compactions, 0u);
+
+  s0.ReleasePin();  // drain the old epoch: the rebuild may now install
+  compactor.join();
+  EXPECT_TRUE(compacted.load());
+  EXPECT_EQ(dg.Stats().compactions, 1u);
+  s1.ReleasePin();
+}
+
+TEST(DynamicGraphTest, BackgroundCompactionTriggersOnChurn) {
+  // Tiny threshold: the very first batch crosses it.
+  DynamicGraph dg(SmallBase(43), DynOptions{0.001, true});
+  dyn::Snapshot snap = dg.Acquire();
+  GraphDelta delta = dg.NewDelta(snap);
+  ASSERT_TRUE(delta.AddVertex(1));
+  ASSERT_TRUE(delta.AddVertex(3));
+  ASSERT_FALSE(dg.Apply(std::move(delta)).has_value());
+  snap.ReleasePin();
+
+  // The compactor runs asynchronously; poll until it lands.
+  for (int i = 0; i < 500; ++i) {
+    obs::DynCounters stats = dg.Stats();
+    if (stats.compactions + stats.compactions_abandoned > 0) break;
+    usleep(10'000);
+  }
+  obs::DynCounters stats = dg.Stats();
+  EXPECT_GE(stats.compactions + stats.compactions_abandoned, 1u);
+}
+
+TEST(EpochManagerTest, PinCountsAndDraining) {
+  EpochManager m;
+  EXPECT_EQ(m.current(), 0u);
+  EpochRef a = m.Pin();
+  EpochRef b = m.Pin();
+  EXPECT_EQ(m.PinCount(0), 2u);
+  EXPECT_EQ(m.Advance(), 1u);
+  EpochRef c = m.Pin();
+  EXPECT_EQ(c.epoch(), 1u);
+  EXPECT_EQ(m.PinnedAtOrBelow(0), 2u);
+  EXPECT_EQ(m.PinnedAtOrBelow(1), 3u);
+  a.Release();
+  b.Release();
+  EXPECT_EQ(m.PinnedAtOrBelow(0), 0u);
+  EXPECT_TRUE(m.WaitUntilDrained(0));  // already drained: returns at once
+  c.Release();
+}
+
+TEST(EpochManagerTest, CancelFailsParkedWaiters) {
+  EpochManager m;
+  EpochRef pin = m.Pin();
+  m.Advance();
+  std::atomic<bool> woke{false};
+  bool result = true;
+  std::thread waiter([&] {
+    result = m.WaitUntilDrained(0);  // parked: epoch 0 is pinned
+    woke.store(true, std::memory_order_release);
+  });
+  usleep(20'000);
+  EXPECT_FALSE(woke.load(std::memory_order_acquire));
+  m.Cancel();
+  waiter.join();
+  EXPECT_FALSE(result);  // cancelled, not drained
+  pin.Release();
+}
+
+// ---- misuse death tests -------------------------------------------------
+
+TEST(EpochDeathTest, DoubleReleaseDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        EpochManager m;
+        EpochRef ref = m.Pin();
+        ref.Release();
+        ref.Release();
+      },
+      "");
+}
+
+TEST(EpochDeathTest, LeakedPinAtManagerDestructionDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        auto* m = new EpochManager;
+        EpochRef leaked = m->Pin();
+        delete m;  // dies: a pin is still outstanding
+        leaked.Release();
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace cfl

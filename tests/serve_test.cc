@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dyn/delta.h"
 #include "gen/query_gen.h"
 #include "gen/rng.h"
 #include "gen/synthetic.h"
@@ -224,6 +225,36 @@ TEST(PlanCacheTest, EvictsLruUnderTinyByteBudget) {
   EXPECT_EQ(tiny.Stats().entries, 0u);
 }
 
+TEST(PlanCacheTest, InvalidateLabelsDropsOnlyIntersectingEntries) {
+  Graph data = TestData();
+  CflMatcher matcher(data);
+  PlanCache cache(64ull << 20);
+
+  // Two cached plans with disjoint label signatures.
+  Graph q01 = MakeGraph({0, 1, 0}, {{0, 1}, {1, 2}});
+  Graph q23 = MakeGraph({2, 3, 2}, {{0, 1}, {1, 2}});
+  ASSERT_NE(cache.Insert(q01, matcher.Prepare(q01)), nullptr);
+  ASSERT_NE(cache.Insert(q23, matcher.Prepare(q23)), nullptr);
+  ASSERT_EQ(cache.Stats().entries, 2u);
+
+  // A batch that dirtied label 3 must drop exactly the {2,3} plan.
+  dyn::DirtyLabels dirty;
+  dirty.labels = {3};
+  EXPECT_EQ(cache.InvalidateLabels(dirty), 1u);
+  EXPECT_NE(cache.Find(q01).plan, nullptr);
+  EXPECT_EQ(cache.Find(q23).plan, nullptr);
+  serve::PlanCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.evictions, 0u);  // invalidation is not LRU pressure
+
+  // A clean batch drops nothing.
+  dyn::DirtyLabels clean;
+  clean.labels = {7};
+  EXPECT_EQ(cache.InvalidateLabels(clean), 0u);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
 TEST(PlanCacheTest, ZeroBudgetDisablesCaching) {
   Graph data = TestData();
   CflMatcher matcher(data);
@@ -267,12 +298,12 @@ TEST(TaskPoolTest, DrainsQueueOnDestruction) {
 // ---- scheduler ----------------------------------------------------------
 
 TEST(SchedulerTest, ClampsLimitsToServerBudgets) {
-  Graph data = Figure3Data();
+  // The scheduler holds no graph; limits clamping is pure options logic.
   serve::SchedulerOptions options;
   options.workers = 2;
   options.max_time_limit_seconds = 5.0;
   options.max_embeddings = 1000;
-  serve::QueryScheduler scheduler(data, options);
+  serve::QueryScheduler scheduler(options);
 
   MatchLimits unlimited;  // the dangerous request: no limits at all
   MatchLimits clamped = scheduler.ClampLimits(unlimited);
@@ -292,13 +323,14 @@ TEST(SchedulerTest, CountsMatchSerialEngine) {
   CflMatcher matcher(data);
   serve::SchedulerOptions options;
   options.workers = 3;
-  serve::QueryScheduler scheduler(data, options);
+  serve::QueryScheduler scheduler(options);
 
   for (const Graph& q : TestQueries(data, 8, 8, 81)) {
     MatchResult serial = matcher.Match(q);
     PreparedQuery prepared = matcher.Prepare(q);
     uint32_t quota = 0;
-    MatchResult served = scheduler.Execute(q, prepared, MatchLimits{}, &quota);
+    MatchResult served =
+        scheduler.Execute(data, q, prepared, MatchLimits{}, &quota);
     EXPECT_EQ(served.embeddings, serial.embeddings);
     EXPECT_FALSE(served.reached_limit);
     EXPECT_FALSE(served.timed_out);
@@ -321,7 +353,7 @@ TEST(SchedulerTest, ConcurrentQueriesInterleaveCorrectly) {
   serve::SchedulerOptions options;
   options.workers = 4;
   options.max_concurrent_queries = 3;  // force admission waits
-  serve::QueryScheduler scheduler(data, options);
+  serve::QueryScheduler scheduler(options);
 
   std::atomic<uint32_t> failures{0};
   std::vector<std::thread> sessions;
@@ -330,7 +362,7 @@ TEST(SchedulerTest, ConcurrentQueriesInterleaveCorrectly) {
     sessions.emplace_back([&, i] {
       for (int rep = 0; rep < 3; ++rep) {
         MatchResult r =
-            scheduler.Execute(queries[i], prepared[i], MatchLimits{});
+            scheduler.Execute(data, queries[i], prepared[i], MatchLimits{});
         if (r.embeddings != expected[i]) {
           failures.fetch_add(1, std::memory_order_relaxed);
         }
@@ -404,6 +436,50 @@ TEST(ProtocolTest, ResultLineRoundTrip) {
   auto round = serve::ParseEmbeddingLine(serve::FormatEmbeddingLine(emb));
   ASSERT_TRUE(round.has_value());
   EXPECT_EQ(*round, emb);
+}
+
+TEST(ProtocolTest, UpdateOpAndUpdatedLineRoundTrip) {
+  using serve::UpdateOp;
+  const UpdateOp ops[] = {
+      {UpdateOp::Kind::kAddVertex, 3, 0},
+      {UpdateOp::Kind::kRemoveVertex, 17, 0},
+      {UpdateOp::Kind::kAddEdge, 4, 9},
+      {UpdateOp::Kind::kRemoveEdge, 9, 4},
+  };
+  for (const UpdateOp& op : ops) {
+    std::string error;
+    auto parsed = serve::ParseUpdateOp(serve::FormatUpdateOp(op), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->kind, op.kind);
+    EXPECT_EQ(parsed->u, op.u);
+    EXPECT_EQ(parsed->v, op.v);
+  }
+  std::string error;
+  EXPECT_FALSE(serve::ParseUpdateOp("xy 1 2", &error).has_value());
+  EXPECT_FALSE(serve::ParseUpdateOp("ae 1", &error).has_value());
+  EXPECT_FALSE(serve::ParseUpdateOp("av 1 2", &error).has_value());
+  EXPECT_FALSE(serve::ParseUpdateOp("ae 1 99999999999", &error).has_value());
+
+  serve::UpdateOutcome outcome;
+  outcome.epoch = 7;
+  outcome.added_vertices = 1;
+  outcome.removed_vertices = 2;
+  outcome.added_edges = 3;
+  outcome.removed_edges = 4;
+  outcome.dirty_labels = 5;
+  outcome.invalidated = 6;
+  outcome.retained = 8;
+  auto parsed =
+      serve::ParseUpdatedLine(serve::FormatUpdatedLine(outcome), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->epoch, 7u);
+  EXPECT_EQ(parsed->added_vertices, 1u);
+  EXPECT_EQ(parsed->removed_vertices, 2u);
+  EXPECT_EQ(parsed->added_edges, 3u);
+  EXPECT_EQ(parsed->removed_edges, 4u);
+  EXPECT_EQ(parsed->dirty_labels, 5u);
+  EXPECT_EQ(parsed->invalidated, 6u);
+  EXPECT_EQ(parsed->retained, 8u);
 }
 
 // ---- server end to end --------------------------------------------------
@@ -721,6 +797,174 @@ TEST(QueryServerTest, ConcurrentMixedQueriesMatchSerialEngine) {
   }
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0u);
+}
+
+// ---- dynamic updates over the wire --------------------------------------
+
+// Two label-disjoint clusters: A = labels {0,1} (vertices 0..3, a path),
+// B = labels {2,3} (vertices 4..7, a path). Updates confined to B can
+// never dirty a plan whose query labels live in A.
+Graph TwoClusterData() {
+  return MakeGraph({0, 1, 0, 1, 2, 3, 2, 3},
+                   {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}});
+}
+
+Graph EdgeQuery(Label a, Label b) {
+  return MakeGraph({a, b}, {{0, 1}});
+}
+
+TEST(QueryServerTest, UpdateInvalidatesExactlyAffectedPlans) {
+  Graph data = TwoClusterData();
+  Graph qa = EdgeQuery(0, 1);  // 3 embeddings: edges (0,1) (1,2) (2,3)
+  Graph qb = EdgeQuery(2, 3);  // 3 embeddings: edges (4,5) (5,6) (6,7)
+
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("update");
+  options.workers = 2;
+  ServerFixture fixture(data, options);
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(fixture.socket_path()));
+
+  // Warm both plans.
+  serve::ServeClient::Reply reply = client.Count(qa);
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(reply.outcome.embeddings, 3u);
+  reply = client.Count(qb);
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(reply.outcome.embeddings, 3u);
+  EXPECT_EQ(client.Stats()["cache_entries"], 2u);
+
+  // One new edge inside cluster B: only qb's plan may die.
+  serve::ServeClient::UpdateReply update = client.Update(
+      {{serve::UpdateOp::Kind::kAddEdge, 4, 7}});
+  ASSERT_TRUE(update.ok) << update.error;
+  EXPECT_EQ(update.outcome.epoch, 1u);
+  EXPECT_EQ(update.outcome.added_edges, 1u);
+  EXPECT_EQ(update.outcome.invalidated, 1u);
+  EXPECT_EQ(update.outcome.retained, 1u);
+  EXPECT_LE(update.outcome.dirty_labels, 2u);  // subset of {2,3}
+
+  // The surviving {0,1} plan is served from cache AND still answers
+  // correctly on the new epoch — the invalidation-soundness claim.
+  reply = client.Count(qa);
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(reply.outcome.cache, serve::QueryOutcome::Cache::kHit);
+  EXPECT_EQ(reply.outcome.embeddings, 3u);
+
+  // The dirtied plan was dropped: re-prepared, and sees the new edge.
+  reply = client.Count(qb);
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(reply.outcome.cache, serve::QueryOutcome::Cache::kMiss);
+  EXPECT_EQ(reply.outcome.embeddings, 4u);
+
+  std::map<std::string, uint64_t> stats = client.Stats();
+  EXPECT_EQ(stats["updates"], 1u);
+  EXPECT_EQ(stats["cache_invalidations"], 1u);
+  EXPECT_EQ(stats["epoch"], 1u);
+}
+
+TEST(QueryServerTest, RejectedUpdateBatchAppliesNothing) {
+  Graph data = TwoClusterData();
+  Graph qb = EdgeQuery(2, 3);
+
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("reject");
+  options.workers = 2;
+  ServerFixture fixture(data, options);
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(fixture.socket_path()));
+
+  // Valid op followed by an invalid one (edge (4,5) already exists): the
+  // whole batch must be rejected atomically.
+  serve::ServeClient::UpdateReply update = client.Update(
+      {{serve::UpdateOp::Kind::kAddEdge, 4, 7},
+       {serve::UpdateOp::Kind::kAddEdge, 4, 5}});
+  EXPECT_FALSE(update.ok);
+  EXPECT_NE(update.error.find("update rejected"), std::string::npos)
+      << update.error;
+
+  serve::ServeClient::Reply reply = client.Count(qb);
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(reply.outcome.embeddings, 3u);  // the valid op did not land
+  EXPECT_EQ(client.Stats()["epoch"], 0u);
+
+  // The connection is still usable and a well-formed batch still commits.
+  update = client.Update({{serve::UpdateOp::Kind::kAddEdge, 4, 7}});
+  ASSERT_TRUE(update.ok) << update.error;
+  EXPECT_EQ(update.outcome.epoch, 1u);
+}
+
+TEST(QueryServerTest, ConcurrentQueriesAndUpdatesKeepInvariants) {
+  // Churn cluster B with edge-swap batches whose *net* embedding count is
+  // constant: {ae 4 7, re 5 6} and its inverse both leave exactly three
+  // (l2,l3) edges. Any torn (non-atomic) view would count 2 or 4; any
+  // wrongly surviving stale plan on cluster A would miscount A. Queries
+  // run concurrently with the updates the whole time.
+  Graph data = TwoClusterData();
+  Graph qa = EdgeQuery(0, 1);
+  Graph qb = EdgeQuery(2, 3);
+
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("churn");
+  options.workers = 4;
+  options.sessions = 4;
+  ServerFixture fixture(data, options);
+
+  constexpr int kBatches = 30;
+  std::atomic<bool> done{false};
+  std::atomic<uint32_t> failures{0};
+
+  std::thread updater([&] {
+    serve::ServeClient client;
+    if (!client.Connect(fixture.socket_path())) {
+      failures.fetch_add(1);
+      done.store(true);
+      return;
+    }
+    for (int i = 0; i < kBatches; ++i) {
+      std::vector<serve::UpdateOp> batch;
+      if (i % 2 == 0) {
+        batch = {{serve::UpdateOp::Kind::kAddEdge, 4, 7},
+                 {serve::UpdateOp::Kind::kRemoveEdge, 5, 6}};
+      } else {
+        batch = {{serve::UpdateOp::Kind::kRemoveEdge, 4, 7},
+                 {serve::UpdateOp::Kind::kAddEdge, 5, 6}};
+      }
+      serve::ServeClient::UpdateReply reply = client.Update(batch);
+      if (!reply.ok) failures.fetch_add(1);
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      serve::ServeClient client;
+      if (!client.Connect(fixture.socket_path())) {
+        failures.fetch_add(1);
+        return;
+      }
+      const Graph& q = (r == 0) ? qa : qb;
+      while (!done.load(std::memory_order_relaxed)) {
+        serve::ServeClient::Reply reply = client.Count(q);
+        // Both clusters always hold exactly three matching edges — for A
+        // because updates never touch it, for B because every batch is
+        // count-preserving and must be observed atomically.
+        if (!reply.ok || reply.outcome.embeddings != 3u) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  updater.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(fixture.socket_path()));
+  std::map<std::string, uint64_t> stats = client.Stats();
+  EXPECT_EQ(stats["updates"], static_cast<uint64_t>(kBatches));
+  EXPECT_GE(stats["epoch"], static_cast<uint64_t>(kBatches));
 }
 
 }  // namespace
